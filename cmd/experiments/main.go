@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments table1 table2
+//	experiments fig5 -reps 10 -frames 128
+//	experiments all -quick
+//	experiments fig9 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiment ids and exit")
+		reps    = flag.Int("reps", 0, "repetitions per configuration (0 = paper default)")
+		frames  = flag.Int("frames", 0, "frames per pair (0 = paper default of 128)")
+		seed    = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+		quick   = flag.Bool("quick", false, "reduced sweep for smoke runs")
+		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+		asCSV   = flag.Bool("csv", false, "emit report tables as CSV (for plotting)")
+		outPath = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no experiment ids given (try -list, or 'all')")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		if id == "all" {
+			ids = ids[:0]
+			for _, e := range repro.Experiments() {
+				ids = append(ids, e.ID)
+			}
+			break
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick}
+	var reports []*repro.ExperimentReport
+	for _, id := range ids {
+		rep, err := repro.RunExperiment(id, opts)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *asJSON:
+			reports = append(reports, rep)
+		case *asCSV:
+			fmt.Fprintf(out, "# %s — %s\n", rep.ID, rep.Title)
+			if err := rep.WriteCSV(out); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(out)
+		default:
+			repro.RenderReport(out, rep)
+			fmt.Fprintln(out)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

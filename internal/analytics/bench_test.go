@@ -1,0 +1,40 @@
+package analytics
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// BenchmarkRadiusOfGyration measures Rg over a JAC-sized frame.
+func BenchmarkRadiusOfGyration(b *testing.B) {
+	f := frame.NewSynthetic("JAC", 1, 23_558, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RadiusOfGyration(f)
+	}
+}
+
+// BenchmarkLargestEigenvalue measures the gyration-tensor analysis.
+func BenchmarkLargestEigenvalue(b *testing.B) {
+	f := frame.NewSynthetic("JAC", 1, 23_558, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LargestEigenvalue(f, nil)
+	}
+}
+
+// BenchmarkPowerIteration measures the dominant eigenvalue of a 256x256
+// distance matrix.
+func BenchmarkPowerIteration(b *testing.B) {
+	f := frame.NewSynthetic("JAC", 1, 512, 7)
+	subset := make([]int, 256)
+	for i := range subset {
+		subset[i] = i
+	}
+	m := DistanceMatrix(f, subset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PowerIteration(m, 50, 1e-9)
+	}
+}

@@ -1,0 +1,21 @@
+package analytics_test
+
+import (
+	"fmt"
+
+	"repro/internal/analytics"
+)
+
+// ExampleChangeDetector shows online detection of a conformational event
+// in a streamed scalar series.
+func ExampleChangeDetector() {
+	detector := &analytics.ChangeDetector{Threshold: 4, MinSample: 6}
+	series := []float64{5.0, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98, 5.01, 9.5}
+	for i, v := range series {
+		if detector.Observe(v) {
+			fmt.Printf("sudden change at index %d (value %.1f)\n", i, v)
+		}
+	}
+	// Output:
+	// sudden change at index 8 (value 9.5)
+}

@@ -1,0 +1,204 @@
+// Package caliper provides hierarchical region instrumentation in the
+// spirit of LLNL's Caliper: processes annotate Begin/End regions and the
+// annotator accumulates an inclusive-time call-path profile. Profiles feed
+// the thicket package, which performs the cross-run analysis the paper
+// uses to split producer/consumer time into data movement and idle time.
+//
+// Annotators are clock-agnostic: the simulation passes the process's
+// virtual clock, real-time pipelines pass a wall clock.
+package caliper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock yields the current time as elapsed duration since an arbitrary
+// per-run origin.
+type Clock func() time.Duration
+
+// Annotator records one process's region activity. The zero value and the
+// nil pointer are inert: every method is safe and free on them, so
+// instrumented code never needs nil checks.
+type Annotator struct {
+	proc  string
+	clock Clock
+	root  *Node
+	stack []*Node
+	open  []time.Duration // entry times matching stack
+}
+
+// Node is one call-path node of a profile.
+type Node struct {
+	Name     string        `json:"name"`
+	Visits   int64         `json:"visits"`
+	Total    time.Duration `json:"total"` // inclusive time
+	Children []*Node       `json:"children,omitempty"`
+}
+
+// New creates an annotator for the named process using the given clock.
+func New(proc string, clock Clock) *Annotator {
+	root := &Node{Name: proc}
+	return &Annotator{proc: proc, clock: clock, root: root}
+}
+
+// Begin opens a region. Regions nest: Begin("a"); Begin("b") attributes
+// b's time inside a.
+func (a *Annotator) Begin(name string) {
+	if a == nil {
+		return
+	}
+	parent := a.root
+	if len(a.stack) > 0 {
+		parent = a.stack[len(a.stack)-1]
+	}
+	node := parent.child(name)
+	node.Visits++
+	a.stack = append(a.stack, node)
+	a.open = append(a.open, a.clock())
+}
+
+// End closes the innermost region, which must be name (mismatches panic:
+// they are instrumentation bugs).
+func (a *Annotator) End(name string) {
+	if a == nil {
+		return
+	}
+	if len(a.stack) == 0 {
+		panic(fmt.Sprintf("caliper: End(%q) with no open region", name))
+	}
+	top := a.stack[len(a.stack)-1]
+	if top.Name != name {
+		panic(fmt.Sprintf("caliper: End(%q) but innermost region is %q", name, top.Name))
+	}
+	top.Total += a.clock() - a.open[len(a.open)-1]
+	a.stack = a.stack[:len(a.stack)-1]
+	a.open = a.open[:len(a.open)-1]
+}
+
+// Region opens name and returns a closure that closes it; use with defer.
+func (a *Annotator) Region(name string) func() {
+	a.Begin(name)
+	return func() { a.End(name) }
+}
+
+// Profile snapshots the annotator into an immutable profile. Open regions
+// are a bug and panic.
+func (a *Annotator) Profile() *Profile {
+	if a == nil {
+		return &Profile{Proc: "", Root: &Node{}}
+	}
+	if len(a.stack) != 0 {
+		panic(fmt.Sprintf("caliper: profile with %d open regions (innermost %q)", len(a.stack), a.stack[len(a.stack)-1].Name))
+	}
+	return &Profile{Proc: a.proc, Root: a.root.clone()}
+}
+
+func (n *Node) child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &Node{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+func (n *Node) clone() *Node {
+	c := &Node{Name: n.Name, Visits: n.Visits, Total: n.Total}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.clone())
+	}
+	return c
+}
+
+// Exclusive returns the node's time not attributed to children.
+func (n *Node) Exclusive() time.Duration {
+	t := n.Total
+	for _, c := range n.Children {
+		t -= c.Total
+	}
+	return t
+}
+
+// Find returns the first descendant (depth-first) named name, or nil.
+func (n *Node) Find(name string) *Node {
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Walk visits n and every descendant with its slash-joined call path.
+func (n *Node) Walk(fn func(path string, node *Node)) {
+	n.walk("", fn)
+}
+
+func (n *Node) walk(prefix string, fn func(string, *Node)) {
+	path := prefix + "/" + n.Name
+	fn(path, n)
+	for _, c := range n.Children {
+		c.walk(path, fn)
+	}
+}
+
+// Profile is a finished per-process call-path profile.
+type Profile struct {
+	Proc string `json:"proc"`
+	Root *Node  `json:"root"`
+}
+
+// TotalOf sums inclusive time over all nodes named name.
+func (p *Profile) TotalOf(name string) time.Duration {
+	var t time.Duration
+	p.Root.Walk(func(_ string, n *Node) {
+		if n.Name == name {
+			t += n.Total
+		}
+	})
+	return t
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("caliper: decode profile: %w", err)
+	}
+	if p.Root == nil {
+		return nil, fmt.Errorf("caliper: profile has no root")
+	}
+	return &p, nil
+}
+
+// Render pretty-prints the call tree with inclusive times, largest
+// children first (matching how the paper presents Thicket trees).
+func (p *Profile) Render(w io.Writer) {
+	renderNode(w, p.Root, 0)
+}
+
+func renderNode(w io.Writer, n *Node, depth int) {
+	fmt.Fprintf(w, "%s%s  total=%v visits=%d\n", strings.Repeat("  ", depth), n.Name, n.Total, n.Visits)
+	kids := append([]*Node(nil), n.Children...)
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Total > kids[j].Total })
+	for _, c := range kids {
+		renderNode(w, c, depth+1)
+	}
+}

@@ -1,0 +1,193 @@
+package caliper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests.
+type fakeClock struct{ now time.Duration }
+
+func (f *fakeClock) tick(d time.Duration) { f.now += d }
+func (f *fakeClock) clock() time.Duration { return f.now }
+
+func TestNestedRegionsAccumulate(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("outer")
+	fc.tick(10 * time.Millisecond)
+	a.Begin("inner")
+	fc.tick(5 * time.Millisecond)
+	a.End("inner")
+	fc.tick(1 * time.Millisecond)
+	a.End("outer")
+
+	p := a.Profile()
+	outer := p.Root.Find("outer")
+	inner := p.Root.Find("inner")
+	if outer == nil || inner == nil {
+		t.Fatal("regions missing from profile")
+	}
+	if outer.Total != 16*time.Millisecond {
+		t.Fatalf("outer total %v, want 16ms", outer.Total)
+	}
+	if inner.Total != 5*time.Millisecond {
+		t.Fatalf("inner total %v, want 5ms", inner.Total)
+	}
+	if outer.Exclusive() != 11*time.Millisecond {
+		t.Fatalf("outer exclusive %v, want 11ms", outer.Exclusive())
+	}
+}
+
+func TestRepeatVisitsMerge(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	for i := 0; i < 3; i++ {
+		a.Begin("r")
+		fc.tick(2 * time.Millisecond)
+		a.End("r")
+	}
+	p := a.Profile()
+	r := p.Root.Find("r")
+	if r.Visits != 3 {
+		t.Fatalf("visits %d, want 3", r.Visits)
+	}
+	if r.Total != 6*time.Millisecond {
+		t.Fatalf("total %v, want 6ms", r.Total)
+	}
+}
+
+func TestSiblingsKeptSeparate(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("parent")
+	a.Begin("x")
+	fc.tick(time.Millisecond)
+	a.End("x")
+	a.Begin("y")
+	fc.tick(2 * time.Millisecond)
+	a.End("y")
+	a.End("parent")
+	p := a.Profile()
+	parent := p.Root.Find("parent")
+	if len(parent.Children) != 2 {
+		t.Fatalf("children %d, want 2", len(parent.Children))
+	}
+	if p.Root.Find("x").Total != time.Millisecond || p.Root.Find("y").Total != 2*time.Millisecond {
+		t.Fatal("sibling totals wrong")
+	}
+}
+
+func TestMismatchedEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched End did not panic")
+		}
+	}()
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("a")
+	a.End("b")
+}
+
+func TestProfileWithOpenRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Profile with open region did not panic")
+		}
+	}()
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("a")
+	a.Profile()
+}
+
+func TestNilAnnotatorIsInert(t *testing.T) {
+	var a *Annotator
+	a.Begin("x")
+	a.End("x")
+	done := a.Region("y")
+	done()
+	p := a.Profile()
+	if p == nil || p.Root == nil {
+		t.Fatal("nil annotator must still produce an empty profile")
+	}
+}
+
+func TestTotalOfSumsAcrossPaths(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("a")
+	a.Begin("io")
+	fc.tick(time.Millisecond)
+	a.End("io")
+	a.End("a")
+	a.Begin("b")
+	a.Begin("io")
+	fc.tick(3 * time.Millisecond)
+	a.End("io")
+	a.End("b")
+	p := a.Profile()
+	if got := p.TotalOf("io"); got != 4*time.Millisecond {
+		t.Fatalf("TotalOf(io) = %v, want 4ms", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	done := a.Region("r")
+	fc.tick(7 * time.Millisecond)
+	done()
+	p := a.Profile()
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proc != "p0" || got.Root.Find("r").Total != 7*time.Millisecond {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRenderShowsTree(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("dyad_consume")
+	a.Begin("dyad_fetch")
+	fc.tick(time.Millisecond)
+	a.End("dyad_fetch")
+	a.End("dyad_consume")
+	var buf bytes.Buffer
+	a.Profile().Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "dyad_consume") || !strings.Contains(out, "dyad_fetch") {
+		t.Fatalf("render missing regions:\n%s", out)
+	}
+}
+
+func TestWalkPaths(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("a")
+	a.Begin("b")
+	a.End("b")
+	a.End("a")
+	var paths []string
+	a.Profile().Root.Walk(func(path string, _ *Node) { paths = append(paths, path) })
+	want := map[string]bool{"/p0": true, "/p0/a": true, "/p0/a/b": true}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q in %v", p, paths)
+		}
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths %v", paths)
+	}
+}

@@ -1,0 +1,275 @@
+// Package cluster models the hardware of an HPC system: compute nodes with
+// node-local NVMe SSDs and NICs, connected by a switched fabric. The models
+// are queueing models over the sim kernel: each device is a FIFO resource
+// and each operation charges latency plus size/bandwidth service time, so
+// contention between concurrent processes emerges naturally.
+//
+// The default parameters (CoronaProfile) approximate LLNL's Corona system
+// used in the paper: AMD EPYC nodes with 3.5 TB NVMe SSDs on an InfiniBand
+// QDR interconnect.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SSDSpec parameterizes a node-local NVMe device.
+type SSDSpec struct {
+	ReadBandwidth  float64       // bytes per second
+	WriteBandwidth float64       // bytes per second
+	ReadLatency    time.Duration // fixed per-operation latency
+	WriteLatency   time.Duration
+	Channels       int // concurrent operations served at full speed
+}
+
+// NICSpec parameterizes a node's network interface.
+type NICSpec struct {
+	Bandwidth float64 // bytes per second on the wire
+	Overhead  time.Duration
+}
+
+// FabricSpec parameterizes the switched interconnect.
+type FabricSpec struct {
+	HopLatency time.Duration // propagation + switching per message
+}
+
+// Spec is a full cluster hardware profile.
+type Spec struct {
+	Nodes  int
+	SSD    SSDSpec
+	NIC    NICSpec
+	Fabric FabricSpec
+}
+
+// CoronaProfile returns a profile approximating LLNL Corona (the paper's
+// testbed): 3.5 TB NVMe node-local SSDs and an InfiniBand QDR fabric.
+// Bandwidths are effective application-level figures, not datasheet peaks.
+func CoronaProfile(nodes int) Spec {
+	return Spec{
+		Nodes: nodes,
+		SSD: SSDSpec{
+			ReadBandwidth:  3.0e9,
+			WriteBandwidth: 2.0e9,
+			ReadLatency:    60 * time.Microsecond,
+			WriteLatency:   80 * time.Microsecond,
+			Channels:       4,
+		},
+		NIC: NICSpec{
+			Bandwidth: 3.2e9, // IB QDR 4x ~ 32 Gbit/s usable
+			Overhead:  3 * time.Microsecond,
+		},
+		Fabric: FabricSpec{
+			HopLatency: 1200 * time.Nanosecond,
+		},
+	}
+}
+
+// SSD is a node-local storage device.
+type SSD struct {
+	spec SSDSpec
+	dev  *sim.Resource
+
+	// degrade multiplies service times (fault injection; 1 = healthy).
+	degrade float64
+
+	BytesRead    int64
+	BytesWritten int64
+	Reads        int64
+	Writes       int64
+}
+
+// Degrade multiplies all subsequent service times by factor (>= 1).
+// It models a failing or throttled device for straggler studies.
+func (s *SSD) Degrade(factor float64) {
+	if factor < 1 {
+		panic("cluster: SSD degradation factor < 1")
+	}
+	s.degrade = factor
+}
+
+// Read charges the device for an n-byte read and returns time spent.
+func (s *SSD) Read(p *sim.Proc, n int64) time.Duration {
+	if n < 0 {
+		panic("cluster: negative read size")
+	}
+	s.Reads++
+	s.BytesRead += n
+	service := s.scale(s.spec.ReadLatency + bwTime(n, s.spec.ReadBandwidth))
+	return s.dev.Use(p, service)
+}
+
+// Write charges the device for an n-byte write and returns time spent.
+func (s *SSD) Write(p *sim.Proc, n int64) time.Duration {
+	if n < 0 {
+		panic("cluster: negative write size")
+	}
+	s.Writes++
+	s.BytesWritten += n
+	service := s.scale(s.spec.WriteLatency + bwTime(n, s.spec.WriteBandwidth))
+	return s.dev.Use(p, service)
+}
+
+// Device exposes the underlying queued resource (for utilization stats).
+func (s *SSD) Device() *sim.Resource { return s.dev }
+
+func (s *SSD) scale(d time.Duration) time.Duration {
+	if s.degrade > 1 {
+		return time.Duration(float64(d) * s.degrade)
+	}
+	return d
+}
+
+// Node is one compute node: an SSD and a NIC.
+type Node struct {
+	ID  int
+	SSD *SSD
+	nic *sim.Resource
+
+	// nicDegrade multiplies this NIC's wire service times (fault
+	// injection; values <= 1 mean healthy).
+	nicDegrade float64
+
+	cl *Cluster
+}
+
+// DegradeNIC multiplies all subsequent wire service time at this node's
+// NIC by factor (>= 1), modelling a flaky link or misbehaving HCA.
+func (n *Node) DegradeNIC(factor float64) {
+	if factor < 1 {
+		panic("cluster: NIC degradation factor < 1")
+	}
+	n.nicDegrade = factor
+}
+
+func (n *Node) nicScale(d time.Duration) time.Duration {
+	if n.nicDegrade > 1 {
+		return time.Duration(float64(d) * n.nicDegrade)
+	}
+	return d
+}
+
+// Name returns a stable display name.
+func (n *Node) Name() string { return fmt.Sprintf("node%d", n.ID) }
+
+// NIC exposes the node's NIC resource.
+func (n *Node) NIC() *sim.Resource { return n.nic }
+
+// Cluster is a set of nodes joined by a fabric.
+type Cluster struct {
+	Spec  Spec
+	nodes []*Node
+	e     *sim.Engine
+
+	BytesOnWire int64
+	Transfers   int64
+}
+
+// New builds a cluster on the given engine.
+func New(e *sim.Engine, spec Spec) *Cluster {
+	if spec.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	if spec.SSD.Channels < 1 {
+		spec.SSD.Channels = 1
+	}
+	c := &Cluster{Spec: spec, e: e}
+	for i := 0; i < spec.Nodes; i++ {
+		n := &Node{
+			ID: i,
+			SSD: &SSD{
+				spec: spec.SSD,
+				dev:  sim.NewResource(e, fmt.Sprintf("node%d/ssd", i), spec.SSD.Channels),
+			},
+			nic: sim.NewResource(e, fmt.Sprintf("node%d/nic", i), 1),
+			cl:  c,
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Engine returns the simulation engine the cluster runs on.
+func (c *Cluster) Engine() *sim.Engine { return c.e }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Transfer moves n bytes from src to dst over the fabric, charging both
+// endpoints' NICs (FIFO) and the hop latency. Same-node transfers cost a
+// memcpy-like fraction of NIC time with no hop latency. It returns the
+// total elapsed time.
+func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
+	if n < 0 {
+		panic("cluster: negative transfer size")
+	}
+	start := p.Now()
+	c.Transfers++
+	if src == dst {
+		// Loopback: no wire, just a cheap copy at memory speed.
+		p.Sleep(bwTime(n, 8*c.Spec.NIC.Bandwidth))
+		return p.Now() - start
+	}
+	c.BytesOnWire += n
+	// The sender serializes the message onto the wire in segments (the
+	// fabric is packet-switched: a small control message never waits for a
+	// whole multi-megabyte transfer ahead of it, only for the segment in
+	// flight), the message crosses the fabric, and the receiver's NIC
+	// completion posts in FIFO order. Acquiring the two NICs sequentially
+	// (never holding both) keeps the model deadlock-free while still
+	// producing incast and fan-out contention at shared endpoints.
+	rest := n
+	first := true
+	for rest > 0 || first {
+		seg := rest
+		if seg > wireSegment {
+			seg = wireSegment
+		}
+		wire := bwTime(seg, c.Spec.NIC.Bandwidth)
+		if first {
+			wire += c.Spec.NIC.Overhead
+			first = false
+		}
+		src.nic.Use(p, src.nicScale(wire))
+		rest -= seg
+	}
+	p.Sleep(c.Spec.Fabric.HopLatency)
+	dst.nic.Use(p, 0) // receive completion posts in FIFO order behind local sends
+	return p.Now() - start
+}
+
+// wireSegment is the interleaving granularity of the fabric model.
+const wireSegment = 256 << 10
+
+// RPC models a small request/response exchange between nodes: one message
+// each way plus the remote service time, which is executed while holding
+// the given service resource (if non-nil).
+func (c *Cluster) RPC(p *sim.Proc, src, dst *Node, reqBytes, respBytes int64, server *sim.Resource, service time.Duration) time.Duration {
+	start := p.Now()
+	c.Transfer(p, src, dst, reqBytes)
+	if server != nil {
+		server.Use(p, service)
+	} else {
+		p.Sleep(service)
+	}
+	c.Transfer(p, dst, src, respBytes)
+	return p.Now() - start
+}
+
+// bwTime converts size at a bandwidth into a duration.
+func bwTime(n int64, bytesPerSec float64) time.Duration {
+	if bytesPerSec <= 0 {
+		panic("cluster: nonpositive bandwidth")
+	}
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testSpec(nodes int) Spec {
+	return Spec{
+		Nodes: nodes,
+		SSD: SSDSpec{
+			ReadBandwidth:  1e9,
+			WriteBandwidth: 1e9,
+			ReadLatency:    10 * time.Microsecond,
+			WriteLatency:   10 * time.Microsecond,
+			Channels:       1,
+		},
+		NIC:    NICSpec{Bandwidth: 1e9, Overhead: time.Microsecond},
+		Fabric: FabricSpec{HopLatency: time.Microsecond},
+	}
+}
+
+func TestSSDWriteTiming(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(1))
+	var took time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		took = c.Node(0).SSD.Write(p, 1_000_000) // 1 MB at 1 GB/s = 1 ms
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 10*time.Microsecond
+	if took != want {
+		t.Fatalf("write took %v, want %v", took, want)
+	}
+	if c.Node(0).SSD.BytesWritten != 1_000_000 {
+		t.Fatalf("accounted %d bytes", c.Node(0).SSD.BytesWritten)
+	}
+}
+
+func TestSSDContentionSerializes(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(1))
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			c.Node(0).SSD.Write(p, 1_000_000)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 writers on one channel: ~4x a single write.
+	want := 4 * (time.Millisecond + 10*time.Microsecond)
+	if e.Now() != want {
+		t.Fatalf("4 contended writes ended at %v, want %v", e.Now(), want)
+	}
+}
+
+func TestTransferCrossNodeTiming(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(2))
+	var took time.Duration
+	e.Spawn("tx", func(p *sim.Proc) {
+		took = c.Transfer(p, c.Node(0), c.Node(1), 1_000_000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 1 GB/s = 1ms + overhead 1us + hop 1us.
+	want := time.Millisecond + 2*time.Microsecond
+	if took != want {
+		t.Fatalf("transfer took %v, want %v", took, want)
+	}
+	if c.BytesOnWire != 1_000_000 {
+		t.Fatalf("wire bytes %d", c.BytesOnWire)
+	}
+}
+
+func TestTransferSameNodeIsCheapAndOffWire(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(2))
+	var local, remote time.Duration
+	e.Spawn("tx", func(p *sim.Proc) {
+		local = c.Transfer(p, c.Node(0), c.Node(0), 1_000_000)
+		remote = c.Transfer(p, c.Node(0), c.Node(1), 1_000_000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if local >= remote {
+		t.Fatalf("loopback (%v) should be cheaper than cross-node (%v)", local, remote)
+	}
+	if c.BytesOnWire != 1_000_000 {
+		t.Fatalf("loopback must not count on-wire bytes, got %d", c.BytesOnWire)
+	}
+}
+
+func TestFanOutContentionOnSharedSenderNIC(t *testing.T) {
+	// 4 concurrent transfers out of node 0 to distinct nodes share one NIC:
+	// total time ~4x one transfer.
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(5))
+	for i := 1; i <= 4; i++ {
+		dst := c.Node(i)
+		e.Spawn(fmt.Sprintf("tx%d", i), func(p *sim.Proc) {
+			c.Transfer(p, c.Node(0), dst, 1_000_000)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() < 4*time.Millisecond {
+		t.Fatalf("fan-out finished at %v, want >= 4ms (serialized on sender NIC)", e.Now())
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(2))
+	server := sim.NewResource(e, "svc", 1)
+	var took time.Duration
+	e.Spawn("rpc", func(p *sim.Proc) {
+		took = c.RPC(p, c.Node(0), c.Node(1), 128, 128, server, 100*time.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took < 100*time.Microsecond {
+		t.Fatalf("rpc %v cannot be below service time", took)
+	}
+	if took > time.Millisecond {
+		t.Fatalf("rpc %v implausibly slow for 128-byte messages", took)
+	}
+}
+
+func TestCoronaProfileSanity(t *testing.T) {
+	s := CoronaProfile(64)
+	if s.Nodes != 64 {
+		t.Fatalf("nodes %d", s.Nodes)
+	}
+	if s.SSD.WriteBandwidth <= 0 || s.SSD.ReadBandwidth < s.SSD.WriteBandwidth {
+		t.Fatal("NVMe read bandwidth should be >= write bandwidth > 0")
+	}
+	if s.NIC.Bandwidth <= 0 || s.Fabric.HopLatency <= 0 {
+		t.Fatal("fabric parameters must be positive")
+	}
+}
+
+// Property: transfer time is monotone non-decreasing in size.
+func TestTransferMonotoneInSize(t *testing.T) {
+	f := func(a, b uint32) bool {
+		small, big := int64(a%1_000_000), int64(b%1_000_000)
+		if small > big {
+			small, big = big, small
+		}
+		e := sim.NewEngine(1)
+		c := New(e, testSpec(2))
+		var ts, tb time.Duration
+		e.Spawn("tx", func(p *sim.Proc) {
+			ts = c.Transfer(p, c.Node(0), c.Node(1), small)
+			tb = c.Transfer(p, c.Node(0), c.Node(1), big)
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ts <= tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSDDegradeSlowsService(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(1))
+	var healthy, degraded time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		healthy = c.Node(0).SSD.Write(p, 1_000_000)
+		c.Node(0).SSD.Degrade(4)
+		degraded = c.Node(0).SSD.Write(p, 1_000_000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if degraded != 4*healthy {
+		t.Fatalf("degraded write %v, want 4x healthy %v", degraded, healthy)
+	}
+}
+
+func TestNICDegradeSlowsTransfers(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(2))
+	var healthy, degraded time.Duration
+	e.Spawn("tx", func(p *sim.Proc) {
+		healthy = c.Transfer(p, c.Node(0), c.Node(1), 1_000_000)
+		c.Node(0).DegradeNIC(4)
+		degraded = c.Transfer(p, c.Node(0), c.Node(1), 1_000_000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if degraded <= healthy*3 {
+		t.Fatalf("degraded transfer %v, want ~4x healthy %v", degraded, healthy)
+	}
+}
+
+func TestDegradeRejectsSpeedup(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, testSpec(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor < 1 accepted")
+		}
+	}()
+	c.Node(0).SSD.Degrade(0.5)
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's primary contribution: the
+// point-to-point MD-inspired producer/consumer workflow (§IV-C) and its
+// measurement methodology, which decomposes production and consumption time
+// into data-movement time and idle (synchronization) time across three data
+// management solutions: DYAD, node-local XFS, and Lustre.
+//
+// A workflow is an ensemble of producer-consumer pairs. Each producer
+// emulates an MD simulation: it sleeps for one stride of MD steps,
+// serializes a frame, and writes it through the configured backend. Each
+// consumer reads the frame back, deserializes it, and sleeps for the
+// analytics duration (set to the nominal frame-generation frequency, as in
+// the paper).
+//
+// Synchronization semantics (the crux of the study):
+//
+//   - DYAD: fully pipelined. The producer never waits for the consumer; the
+//     consumer's first touch blocks on the KVS (loose coupling), after which
+//     data is always ready and the cheap lock protocol is used.
+//   - XFS / Lustre: coarse-grained manual synchronization, which the paper
+//     (§III) describes as serializing producer and consumer tasks ("not
+//     overlapping producer and consumer tasks"): the producer's next
+//     simulation task is launched only after the consumer has read the
+//     previous frame — the workflow-manager-style coupling real traditional
+//     workflows use. The consumer's per-frame explicit_sync wait therefore
+//     spans the producer's full compute+write period, while the producer's
+//     own wait is task-launch serialization, not measured production time.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dyad"
+	"repro/internal/models"
+)
+
+// Backend selects the data management solution under test.
+type Backend int
+
+// The three data management solutions of the study.
+const (
+	DYAD Backend = iota
+	XFS
+	Lustre
+)
+
+// String returns the backend name as the paper spells it.
+func (b Backend) String() string {
+	switch b {
+	case DYAD:
+		return "DYAD"
+	case XFS:
+		return "XFS"
+	case Lustre:
+		return "Lustre"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend parses a backend name (case-sensitive, as printed).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "DYAD", "dyad":
+		return DYAD, nil
+	case "XFS", "xfs":
+		return XFS, nil
+	case "Lustre", "lustre":
+		return Lustre, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q (want DYAD, XFS, or Lustre)", s)
+}
+
+// MaxProcsPerNode mirrors the paper's placement rule: at most 8 processes
+// per node (one per GPU on Corona).
+const MaxProcsPerNode = 8
+
+// Config describes one workflow run.
+type Config struct {
+	// Backend is the data management solution.
+	Backend Backend
+	// Model is the molecular model (Table I).
+	Model models.Model
+	// Stride overrides the model's default output stride when > 0.
+	Stride int
+	// Frames is the number of frames each producer emits (paper: 128).
+	Frames int
+	// Pairs is the number of producer-consumer pairs in the ensemble.
+	Pairs int
+	// SingleNode collocates all processes on one node (the paper's
+	// DYAD/XFS single-node configuration). Otherwise producers occupy the
+	// first half of the compute nodes and consumers the second half.
+	SingleNode bool
+	// Seed drives all stochastic elements (compute jitter, noise).
+	Seed uint64
+	// ComputeJitter is the relative standard deviation of per-frame MD
+	// compute time (run-to-run variability). Zero disables jitter.
+	ComputeJitter float64
+	// LustreNoise enables background interference on the Lustre OSTs.
+	LustreNoise bool
+	// RealFrames makes producers encode genuine frame payloads and
+	// consumers decode and verify them. Costly in host time; meant for
+	// correctness tests and examples, not parameter sweeps.
+	RealFrames bool
+	// KeepProfiles retains per-process Caliper profiles on the Result for
+	// Thicket analysis (Figures 9 and 10).
+	KeepProfiles bool
+	// DYADOverride optionally replaces the DYAD cost model — used by the
+	// ablation study to disable individual DYAD mechanisms. Ignored for
+	// other backends.
+	DYADOverride *dyad.Params
+	// ForceCoarseSync applies the traditional backends' coarse-grained,
+	// serialized producer/consumer coupling to DYAD runs too. It isolates
+	// the value of DYAD's loose coupling: with it set, DYAD keeps its fast
+	// transport but loses the producer/consumer overlap.
+	ForceCoarseSync bool
+	// StragglerFactor, when > 1, degrades the SSD of compute node 0 (a
+	// producer node) by that factor — fault injection for straggler
+	// studies.
+	StragglerFactor float64
+	// Trace, when non-nil, receives one line per workflow event
+	// (frame produced/consumed) with virtual timestamps — an execution
+	// timeline for debugging runs.
+	Trace io.Writer
+}
+
+// EffectiveStride returns the configured stride, or the model's default.
+func (c Config) EffectiveStride() int {
+	if c.Stride > 0 {
+		return c.Stride
+	}
+	return c.Model.Stride
+}
+
+// Frequency returns the nominal frame-generation period for this config.
+func (c Config) Frequency() time.Duration {
+	return c.Model.Frequency(c.EffectiveStride())
+}
+
+// ComputeNodes returns the number of compute nodes the placement needs.
+func (c Config) ComputeNodes() int {
+	if c.SingleNode {
+		return 1
+	}
+	// Producers on one half, consumers on the other, 8 per node.
+	perSide := (c.Pairs + MaxProcsPerNode - 1) / MaxProcsPerNode
+	if perSide < 1 {
+		perSide = 1
+	}
+	return 2 * perSide
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Pairs < 1 {
+		return fmt.Errorf("core: pairs %d < 1", c.Pairs)
+	}
+	if c.Frames < 1 {
+		return fmt.Errorf("core: frames %d < 1", c.Frames)
+	}
+	if c.Model.Atoms <= 0 || c.Model.StepsPerSecond <= 0 {
+		return fmt.Errorf("core: model %q not initialized", c.Model.Name)
+	}
+	if c.Stride < 0 {
+		return fmt.Errorf("core: stride %d < 0", c.Stride)
+	}
+	if c.SingleNode {
+		if c.Backend == Lustre {
+			return fmt.Errorf("core: Lustre is not a single-node configuration in this study")
+		}
+		if 2*c.Pairs > MaxProcsPerNode {
+			return fmt.Errorf("core: %d pairs need %d processes, above the %d-per-node limit", c.Pairs, 2*c.Pairs, MaxProcsPerNode)
+		}
+	} else {
+		if c.Backend == XFS {
+			return fmt.Errorf("core: XFS cannot move data between nodes (paper §III-B); use SingleNode")
+		}
+	}
+	return nil
+}
+
+// Label renders a short configuration descriptor for reports.
+func (c Config) Label() string {
+	placement := "multi-node"
+	if c.SingleNode {
+		placement = "single-node"
+	}
+	return fmt.Sprintf("%s/%s pairs=%d stride=%d frames=%d %s",
+		c.Backend, c.Model.Name, c.Pairs, c.EffectiveStride(), c.Frames, placement)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/caliper"
+	"repro/internal/stats"
+)
+
+// Totals is one role's time decomposition for a whole run (all frames),
+// averaged over the ensemble's pairs — the quantity the paper's bar charts
+// plot, split into red (data movement) and blue (idle) components.
+type Totals struct {
+	Movement time.Duration
+	Idle     time.Duration
+}
+
+// Sum returns movement + idle.
+func (t Totals) Sum() time.Duration { return t.Movement + t.Idle }
+
+// PerFrame scales the totals to one frame.
+func (t Totals) PerFrame(frames int) Totals {
+	if frames < 1 {
+		return t
+	}
+	return Totals{Movement: t.Movement / time.Duration(frames), Idle: t.Idle / time.Duration(frames)}
+}
+
+func (t Totals) String() string {
+	return fmt.Sprintf("movement=%v idle=%v", t.Movement, t.Idle)
+}
+
+// Result is the measurement of one workflow run.
+type Result struct {
+	Cfg Config
+
+	// Producer and Consumer are mean-over-pairs whole-run decompositions.
+	Producer Totals
+	Consumer Totals
+
+	// Makespan is the end-to-end virtual duration of the run.
+	Makespan time.Duration
+
+	// FramesRead and BytesRead are conservation counters.
+	FramesRead int
+	BytesRead  int64
+
+	// ProducerProfiles / ConsumerProfiles hold per-pair Caliper profiles
+	// when Config.KeepProfiles is set.
+	ProducerProfiles []*caliper.Profile
+	ConsumerProfiles []*caliper.Profile
+}
+
+// collect derives the Result from the rig's profiles and counters.
+func (r *rig) collect() (*Result, error) {
+	if len(r.decodeErrs) > 0 {
+		return nil, fmt.Errorf("core: %d frame verification failures, first: %w", len(r.decodeErrs), r.decodeErrs[0])
+	}
+	wantFrames := r.cfg.Pairs * r.cfg.Frames
+	if r.framesRead != wantFrames {
+		return nil, fmt.Errorf("core: consumed %d frames, want %d", r.framesRead, wantFrames)
+	}
+	wantBytes := int64(wantFrames) * r.cfg.frameSize
+	if !r.cfg.RealFrames && r.bytesRead != wantBytes {
+		return nil, fmt.Errorf("core: consumed %d bytes, want %d", r.bytesRead, wantBytes)
+	}
+
+	res := &Result{
+		Cfg:        r.cfg.Config,
+		Makespan:   r.eng.Now(),
+		FramesRead: r.framesRead,
+		BytesRead:  r.bytesRead,
+	}
+	for _, prof := range r.prodProfiles {
+		t := SplitProducer(r.cfg.Backend, prof)
+		res.Producer.Movement += t.Movement
+		res.Producer.Idle += t.Idle
+	}
+	for _, prof := range r.consProfiles {
+		t := SplitConsumer(r.cfg.Backend, prof)
+		res.Consumer.Movement += t.Movement
+		res.Consumer.Idle += t.Idle
+	}
+	n := time.Duration(r.cfg.Pairs)
+	res.Producer.Movement /= n
+	res.Producer.Idle /= n
+	res.Consumer.Movement /= n
+	res.Consumer.Idle /= n
+
+	if r.cfg.KeepProfiles {
+		res.ProducerProfiles = r.prodProfiles
+		res.ConsumerProfiles = r.consProfiles
+	}
+	return res, nil
+}
+
+// SplitProducer decomposes a producer profile into data movement and idle
+// time exactly as §IV-C describes: for DYAD, all time inside the DYAD
+// produce path counts as movement (including metadata management — the
+// source of DYAD's production overhead); for XFS/Lustre, movement is the
+// POSIX write and idle is the explicit synchronization.
+func SplitProducer(b Backend, prof *caliper.Profile) Totals {
+	if b == DYAD {
+		return Totals{
+			Movement: prof.TotalOf("dyad_produce"),
+			// Zero in normal runs; nonzero only under ForceCoarseSync.
+			Idle: prof.TotalOf("explicit_sync"),
+		}
+	}
+	return Totals{
+		Movement: prof.TotalOf("write_single_buf"),
+		Idle:     prof.TotalOf("explicit_sync"),
+	}
+}
+
+// SplitConsumer decomposes a consumer profile: for DYAD, idle is the KVS
+// synchronization (dyad_fetch) and movement is the rest of dyad_consume;
+// for XFS/Lustre, movement is the POSIX read and idle is explicit_sync.
+func SplitConsumer(b Backend, prof *caliper.Profile) Totals {
+	if b == DYAD {
+		consume := prof.TotalOf("dyad_consume")
+		fetch := prof.TotalOf("dyad_fetch")
+		// explicit_sync is zero in normal DYAD runs; it appears only when
+		// ForceCoarseSync layers the coarse coupling over DYAD transport.
+		return Totals{Movement: consume - fetch, Idle: fetch + prof.TotalOf("explicit_sync")}
+	}
+	return Totals{
+		Movement: prof.TotalOf("read_single_buf"),
+		Idle:     prof.TotalOf("explicit_sync"),
+	}
+}
+
+// Repeat runs cfg reps times with distinct seeds and returns all results.
+func Repeat(cfg Config, reps int) ([]*Result, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: reps %d < 1", reps)
+	}
+	out := make([]*Result, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9e3779b9
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: rep %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Aggregate summarizes repeated runs of one configuration.
+type Aggregate struct {
+	Cfg  Config
+	Reps int
+
+	ProdMovement stats.Summary // seconds
+	ProdIdle     stats.Summary
+	ConsMovement stats.Summary
+	ConsIdle     stats.Summary
+	Makespan     stats.Summary
+}
+
+// Aggregated computes the cross-run summary of results (all from the same
+// configuration).
+func Aggregated(results []*Result) Aggregate {
+	agg := Aggregate{Reps: len(results)}
+	if len(results) == 0 {
+		return agg
+	}
+	agg.Cfg = results[0].Cfg
+	var pm, pi, cm, ci, mk []float64
+	for _, r := range results {
+		pm = append(pm, r.Producer.Movement.Seconds())
+		pi = append(pi, r.Producer.Idle.Seconds())
+		cm = append(cm, r.Consumer.Movement.Seconds())
+		ci = append(ci, r.Consumer.Idle.Seconds())
+		mk = append(mk, r.Makespan.Seconds())
+	}
+	agg.ProdMovement = stats.Summarize(pm)
+	agg.ProdIdle = stats.Summarize(pi)
+	agg.ConsMovement = stats.Summarize(cm)
+	agg.ConsIdle = stats.Summarize(ci)
+	agg.Makespan = stats.Summarize(mk)
+	return agg
+}
+
+// ProdTotalMean returns mean production time (movement + idle) in seconds.
+func (a Aggregate) ProdTotalMean() float64 { return a.ProdMovement.Mean + a.ProdIdle.Mean }
+
+// ConsTotalMean returns mean consumption time (movement + idle) in seconds.
+func (a Aggregate) ConsTotalMean() float64 { return a.ConsMovement.Mean + a.ConsIdle.Mean }

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/caliper"
+	"repro/internal/cluster"
+	"repro/internal/dyad"
+	"repro/internal/frame"
+	"repro/internal/lustre"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/xfs"
+)
+
+// lustreServers is the paper-scale Lustre deployment used for every run:
+// one MDS plus eight OSTs on dedicated server nodes.
+const lustreServers = 9
+
+// Run executes one workflow run and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRig(cfg)
+	r.spawnAll()
+	if err := r.eng.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Label(), err)
+	}
+	return r.collect()
+}
+
+// rig wires one run: engine, cluster, backend, processes, measurements.
+type rig struct {
+	cfg cfgResolved
+	eng *sim.Engine
+	cl  *cluster.Cluster
+
+	// Exactly one backend set is active per run.
+	dy  *dyad.System
+	xf  *xfs.FS
+	lfs *lustre.FS
+
+	payload []byte // shared synthetic frame payload (size-exact)
+
+	prodProfiles []*caliper.Profile
+	consProfiles []*caliper.Profile
+	framesRead   int
+	bytesRead    int64
+	decodeErrs   []error
+
+	consumersDone int
+}
+
+// cfgResolved caches derived quantities next to the user config.
+type cfgResolved struct {
+	Config
+	stride    int
+	frequency time.Duration
+	frameSize int64
+}
+
+func newRig(cfg Config) *rig {
+	rc := cfgResolved{
+		Config:    cfg,
+		stride:    cfg.EffectiveStride(),
+		frequency: cfg.Frequency(),
+		frameSize: cfg.Model.FrameBytes(),
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	nodes := cfg.ComputeNodes()
+	if cfg.Backend == Lustre {
+		nodes += lustreServers
+	}
+	cl := cluster.New(eng, cluster.CoronaProfile(nodes))
+	r := &rig{cfg: rc, eng: eng, cl: cl}
+
+	if cfg.Trace != nil {
+		eng.SetTracer(func(t time.Duration, proc, msg string) {
+			fmt.Fprintf(cfg.Trace, "%12.6f %-14s %s\n", t.Seconds(), proc, msg)
+		})
+	}
+
+	switch cfg.Backend {
+	case DYAD:
+		params := dyad.DefaultParams()
+		if cfg.DYADOverride != nil {
+			params = *cfg.DYADOverride
+		}
+		r.dy = dyad.New(cl, cl.Node(0), params)
+	case XFS:
+		r.xf = xfs.New(cl.Node(0), xfs.DefaultParams())
+	case Lustre:
+		params := lustre.DefaultParams()
+		if !cfg.LustreNoise {
+			params.BackgroundLoad = 0
+		}
+		compute := cfg.ComputeNodes()
+		mds := cl.Node(compute)
+		var osts []*cluster.Node
+		for i := compute + 1; i < compute+lustreServers; i++ {
+			osts = append(osts, cl.Node(i))
+		}
+		r.lfs = lustre.New(cl, mds, osts, params)
+		r.lfs.StartNoise()
+	}
+
+	if cfg.StragglerFactor > 1 {
+		// Degrade both the device and the link so the injection reaches
+		// every backend's data path (Lustre never touches compute-node
+		// SSDs; DYAD never leaves without the NIC).
+		cl.Node(0).SSD.Degrade(cfg.StragglerFactor)
+		cl.Node(0).DegradeNIC(cfg.StragglerFactor)
+	}
+
+	if !cfg.RealFrames {
+		// One shared payload of the exact frame size for all pairs; held by
+		// reference everywhere, so host memory stays flat.
+		r.payload = frame.NewSynthetic(cfg.Model.Name, 0, cfg.Model.Atoms, cfg.Seed|1).Encode()
+	}
+	return r
+}
+
+// producerNode / consumerNode implement the paper's placement: collocated
+// on node 0 for single-node runs; producers on the first half of the
+// compute nodes and consumers on the second half otherwise, 8 per node.
+func (r *rig) producerNode(pair int) *cluster.Node {
+	if r.cfg.SingleNode {
+		return r.cl.Node(0)
+	}
+	return r.cl.Node(pair / MaxProcsPerNode)
+}
+
+func (r *rig) consumerNode(pair int) *cluster.Node {
+	if r.cfg.SingleNode {
+		return r.cl.Node(0)
+	}
+	return r.cl.Node(r.cfg.ComputeNodes()/2 + pair/MaxProcsPerNode)
+}
+
+// pairPath names frame f of a pair's flow.
+func pairPath(pair, f int) string {
+	return fmt.Sprintf("/ensemble/pair%03d/frame%05d.pb", pair, f)
+}
+
+// spawnAll creates all producer and consumer processes.
+func (r *rig) spawnAll() {
+	r.prodProfiles = make([]*caliper.Profile, r.cfg.Pairs)
+	r.consProfiles = make([]*caliper.Profile, r.cfg.Pairs)
+	for pair := 0; pair < r.cfg.Pairs; pair++ {
+		pair := pair
+		var gate *pairGate
+		if r.cfg.Backend != DYAD || r.cfg.ForceCoarseSync {
+			gate = newPairGate(r.cl, r.producerNode(pair), r.consumerNode(pair))
+		}
+		r.eng.Spawn(fmt.Sprintf("producer%03d", pair), func(p *sim.Proc) {
+			r.runProducer(p, pair, gate)
+		})
+		r.eng.Spawn(fmt.Sprintf("consumer%03d", pair), func(p *sim.Proc) {
+			r.runConsumer(p, pair, gate)
+		})
+	}
+}
+
+// pairGate is the coarse-grained coupling of the traditional backends:
+// the workflow manager launches the producer's next simulation task only
+// after the consumer has retrieved the previous frame (§III: serialized,
+// non-overlapping task execution), and notifies the consumer when a frame
+// has been written.
+type pairGate struct {
+	request *mpi.Notify // consumer -> producer: "ready for frame k"
+	post    *mpi.Notify // producer -> consumer: "frame k written"
+}
+
+func newPairGate(cl *cluster.Cluster, prodNode, consNode *cluster.Node) *pairGate {
+	return &pairGate{
+		request: mpi.NewNotify(cl, consNode, prodNode),
+		post:    mpi.NewNotify(cl, prodNode, consNode),
+	}
+}
+
+// runProducer emulates the MD simulation side of one pair.
+func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
+	ann := caliper.New(p.Name(), func() time.Duration { return p.Now() })
+	var client *dyad.Client
+	var fs vfs.FS
+	switch r.cfg.Backend {
+	case DYAD:
+		client = r.dy.NewClient(r.producerNode(pair))
+	case XFS:
+		fs = r.xf
+	case Lustre:
+		fs = r.lfs.Client(r.producerNode(pair))
+	}
+
+	for f := 0; f < r.cfg.Frames; f++ {
+		if gate != nil {
+			// Task-launch serialization: wait until the consumer has
+			// consumed the previous frame. Not part of production time —
+			// in a real coarse-grained workflow this producer task has not
+			// been scheduled yet.
+			ann.Begin("task_launch_wait")
+			gate.request.WaitSeq(p, f+1)
+			ann.End("task_launch_wait")
+		}
+
+		// MD compute: one stride of steps (jittered as a block).
+		ann.Begin("md_compute")
+		p.Sleep(p.Rand().Jitter(r.cfg.frequency, r.cfg.ComputeJitter))
+		ann.End("md_compute")
+
+		// Serialize the frame (CPU cost proportional to size).
+		ann.Begin("serialize")
+		data := r.framePayload(pair, f)
+		p.Sleep(cpuTime(int64(len(data)), 2.5e9))
+		ann.End("serialize")
+
+		path := pairPath(pair, f)
+		switch r.cfg.Backend {
+		case DYAD:
+			client.Produce(p, ann, path, data)
+		default:
+			ann.Begin("write_single_buf")
+			if err := fs.WriteFile(p, path, data); err != nil {
+				panic(fmt.Sprintf("core: producer write %s: %v", path, err))
+			}
+			ann.End("write_single_buf")
+		}
+		if gate != nil {
+			ann.Begin("explicit_sync")
+			gate.post.Post(p)
+			ann.End("explicit_sync")
+		}
+		p.Tracef("produced frame %d (%d bytes)", f, len(data))
+	}
+	r.prodProfiles[pair] = ann.Profile()
+}
+
+// runConsumer emulates the in situ analytics side of one pair.
+func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
+	ann := caliper.New(p.Name(), func() time.Duration { return p.Now() })
+	var client *dyad.Client
+	var fs vfs.FS
+	switch r.cfg.Backend {
+	case DYAD:
+		client = r.dy.NewClient(r.consumerNode(pair))
+	case XFS:
+		fs = r.xf
+	case Lustre:
+		fs = r.lfs.Client(r.consumerNode(pair))
+	}
+
+	for f := 0; f < r.cfg.Frames; f++ {
+		if gate != nil {
+			// Ask the workflow manager for the next frame's producer task,
+			// then wait for the data: the explicit synchronization whose
+			// cost the paper reports as consumer idle time.
+			gate.request.Post(p)
+			ann.Begin("explicit_sync")
+			gate.post.WaitSeq(p, f+1)
+			ann.End("explicit_sync")
+		}
+		var data []byte
+		switch r.cfg.Backend {
+		case DYAD:
+			data = client.Consume(p, ann, pairPath(pair, f))
+		default:
+			ann.Begin("read_single_buf")
+			got, err := fs.ReadFile(p, pairPath(pair, f))
+			if err != nil {
+				panic(fmt.Sprintf("core: consumer read: %v", err))
+			}
+			ann.End("read_single_buf")
+			data = got
+		}
+		p.Tracef("consumed frame %d (%d bytes)", f, len(data))
+		r.framesRead++
+		r.bytesRead += int64(len(data))
+		if r.cfg.RealFrames {
+			if err := r.verifyFrame(pair, f, data); err != nil {
+				r.decodeErrs = append(r.decodeErrs, err)
+			}
+		}
+
+		// Deserialize, then emulate the analytics computation for one
+		// frame period (paper §IV-C).
+		ann.Begin("deserialize")
+		p.Sleep(cpuTime(int64(len(data)), 3.0e9))
+		ann.End("deserialize")
+		ann.Begin("analytics")
+		p.Sleep(r.cfg.frequency)
+		ann.End("analytics")
+	}
+	r.consProfiles[pair] = ann.Profile()
+
+	r.consumersDone++
+	if r.consumersDone == r.cfg.Pairs && r.lfs != nil {
+		r.lfs.StopNoise()
+	}
+}
+
+// framePayload returns the bytes the producer writes for frame f.
+func (r *rig) framePayload(pair, f int) []byte {
+	if !r.cfg.RealFrames {
+		return r.payload
+	}
+	return frame.NewSynthetic(r.cfg.Model.Name, int64(f), r.cfg.Model.Atoms, r.cfg.Seed^uint64(pair)<<20^uint64(f)).Encode()
+}
+
+// verifyFrame checks a consumed real frame decodes and matches its
+// producer's payload.
+func (r *rig) verifyFrame(pair, f int, data []byte) error {
+	fr, err := frame.Decode(data)
+	if err != nil {
+		return fmt.Errorf("pair %d frame %d: %w", pair, f, err)
+	}
+	if fr.Step != int64(f) || fr.Model != r.cfg.Model.Name || fr.Atoms() != r.cfg.Model.Atoms {
+		return fmt.Errorf("pair %d frame %d: header mismatch (step=%d model=%q atoms=%d)",
+			pair, f, fr.Step, fr.Model, fr.Atoms())
+	}
+	return nil
+}
+
+// cpuTime converts a byte count at a processing rate into compute time.
+func cpuTime(n int64, bytesPerSec float64) time.Duration {
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}
+
+// defaultDyadParams re-exports dyad.DefaultParams for ablation tests and
+// callers composing overrides.
+func defaultDyadParams() dyad.Params { return dyad.DefaultParams() }

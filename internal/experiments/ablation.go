@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dyad"
+	"repro/internal/stats"
+)
+
+// Ablation quantifies the contribution of each DYAD mechanism the paper's
+// Figure 2 credits — node-local storage accelerators, multi-protocol
+// adaptive synchronization, and direct (RDMA) producer->consumer transfer —
+// by disabling them one at a time on the two-node JAC workload and
+// comparing against full DYAD and Lustre. This extends the paper's
+// evaluation (which only compares whole systems) with a per-mechanism
+// breakdown.
+func Ablation(o Options) (*Report, error) {
+	o = o.Defaults()
+	jac := mustModel("JAC")
+	r := &Report{
+		ID:      "ablation",
+		Title:   "DYAD mechanism ablation (JAC, 8 pairs, two node groups)",
+		Columns: append([]string{"variant"}, stdCols...),
+	}
+
+	type variant struct {
+		name   string
+		params *dyad.Params
+	}
+	full := dyad.DefaultParams()
+	noSync := full
+	noSync.NoAdaptiveSync = true
+	noBB := full
+	noBB.NoBurstBuffer = true
+	noDirect := full
+	noDirect.NoDirectTransfer = true
+	noAll := full
+	noAll.NoAdaptiveSync = true
+	noAll.NoBurstBuffer = true
+	noAll.NoDirectTransfer = true
+
+	variants := []variant{
+		{"DYAD (full)", &full},
+		{"DYAD -adaptive-sync", &noSync},
+		{"DYAD -burst-buffer", &noBB},
+		{"DYAD -direct-transfer", &noDirect},
+		{"DYAD -all-three", &noAll},
+	}
+
+	var fullAgg core.Aggregate
+	aggs := make(map[string]core.Aggregate, len(variants)+2)
+	for _, v := range variants {
+		agg, err := runAgg(core.Config{
+			Backend: core.DYAD, Model: jac, Pairs: 8, DYADOverride: v.params,
+		}, o)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		aggs[v.name] = agg
+		if v.name == "DYAD (full)" {
+			fullAgg = agg
+		}
+		r.Rows = append(r.Rows, append([]string{v.name}, aggRow(agg)...))
+	}
+	// The decisive ablation: keep DYAD's transport but serialize producer
+	// and consumer with the traditional coarse-grained coupling. This
+	// isolates the loose coupling itself — the mechanism behind the
+	// paper's Finding 1.
+	coarse, err := runAgg(core.Config{
+		Backend: core.DYAD, Model: jac, Pairs: 8, ForceCoarseSync: true,
+	}, o)
+	if err != nil {
+		return nil, err
+	}
+	aggs["DYAD +coarse-sync"] = coarse
+	r.Rows = append(r.Rows, append([]string{"DYAD +coarse-sync"}, aggRow(coarse)...))
+	lustreAgg, err := runAgg(core.Config{Backend: core.Lustre, Model: jac, Pairs: 8}, o)
+	if err != nil {
+		return nil, err
+	}
+	aggs["Lustre"] = lustreAgg
+	r.Rows = append(r.Rows, append([]string{"Lustre"}, aggRow(lustreAgg)...))
+
+	slowdown := func(name string) float64 {
+		return stats.Ratio(aggs[name].ConsTotalMean(), fullAgg.ConsTotalMean())
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("consumption slowdown vs full DYAD — -adaptive-sync: %.2fx, -burst-buffer: %.2fx, -direct-transfer: %.2fx, -all-three: %.2fx, +coarse-sync: %.1fx, Lustre: %.1fx",
+			slowdown("DYAD -adaptive-sync"), slowdown("DYAD -burst-buffer"),
+			slowdown("DYAD -direct-transfer"), slowdown("DYAD -all-three"),
+			slowdown("DYAD +coarse-sync"), slowdown("Lustre")),
+		"the transport mechanisms matter at the percent level; losing the loose coupling (+coarse-sync) costs orders of magnitude — the synchronization model, not the transport, drives the paper's headline gaps",
+	)
+	return r, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: single-node ensemble size scaling of DYAD vs
+// XFS with JAC (stride 880), pairs 1/2/4. Paper headlines: DYAD production
+// ~1.4x slower than XFS (metadata management), DYAD overall consumption
+// ~192.9x faster (idle time gap).
+func Fig5(o Options) (*Report, error) {
+	o = o.Defaults()
+	jac := mustModel("JAC")
+	r := &Report{
+		ID:      "fig5",
+		Title:   "Single-node ensemble scaling, DYAD vs XFS (JAC, stride 880)",
+		Columns: append([]string{"backend", "pairs"}, stdCols...),
+	}
+	var last [2]core.Aggregate // [dyad, xfs] at the largest ensemble
+	for _, pairs := range []int{1, 2, 4} {
+		for bi, b := range []core.Backend{core.DYAD, core.XFS} {
+			agg, err := runAgg(core.Config{
+				Backend: b, Model: jac, Pairs: pairs, SingleNode: true,
+			}, o)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, append([]string{b.String(), fmt.Sprintf("%d", pairs)}, aggRow(agg)...))
+			last[bi] = agg
+		}
+	}
+	dy, xf := last[0], last[1]
+	r.Notes = append(r.Notes,
+		ratioNote("DYAD/XFS production time (4 pairs)", 1.4,
+			stats.Ratio(dy.ProdTotalMean(), xf.ProdTotalMean())),
+		ratioNote("DYAD/XFS consumption data movement (4 pairs)", 1.4,
+			stats.Ratio(dy.ConsMovement.Mean, xf.ConsMovement.Mean)),
+		ratioNote("XFS/DYAD overall consumption (4 pairs)", 192.9,
+			stats.Ratio(xf.ConsTotalMean(), dy.ConsTotalMean())),
+	)
+	return r, nil
+}
+
+// Fig6 reproduces Figure 6: two-node (producers|consumers) ensemble size
+// scaling of DYAD vs Lustre with JAC, pairs 1/2/4/8. Paper headlines:
+// DYAD producer movement ~7.5x faster, consumer movement ~6.9x faster,
+// overall consumption ~197.4x faster.
+func Fig6(o Options) (*Report, error) {
+	o = o.Defaults()
+	jac := mustModel("JAC")
+	r := &Report{
+		ID:      "fig6",
+		Title:   "Two-node ensemble scaling, DYAD vs Lustre (JAC, stride 880)",
+		Columns: append([]string{"backend", "pairs"}, stdCols...),
+	}
+	var last [2]core.Aggregate
+	for _, pairs := range []int{1, 2, 4, 8} {
+		for bi, b := range []core.Backend{core.DYAD, core.Lustre} {
+			agg, err := runAgg(core.Config{Backend: b, Model: jac, Pairs: pairs}, o)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, append([]string{b.String(), fmt.Sprintf("%d", pairs)}, aggRow(agg)...))
+			last[bi] = agg
+		}
+	}
+	dy, lu := last[0], last[1]
+	r.Notes = append(r.Notes,
+		ratioNote("Lustre/DYAD producer data movement (8 pairs)", 7.5,
+			stats.Ratio(lu.ProdMovement.Mean, dy.ProdMovement.Mean)),
+		ratioNote("Lustre/DYAD consumer data movement (8 pairs)", 6.9,
+			stats.Ratio(lu.ConsMovement.Mean, dy.ConsMovement.Mean)),
+		ratioNote("Lustre/DYAD overall consumption (8 pairs)", 197.4,
+			stats.Ratio(lu.ConsTotalMean(), dy.ConsTotalMean())),
+	)
+	return r, nil
+}
+
+// Fig7 reproduces Figure 7: multi-node ensemble size scaling of DYAD vs
+// Lustre with JAC, 8 producers per node, 8..256 pairs over 2..64 nodes.
+// Paper headlines: stable production across ensemble sizes; DYAD ~5.3x
+// faster producer movement, ~5.8x consumer movement, ~192.0x overall.
+func Fig7(o Options) (*Report, error) {
+	o = o.Defaults()
+	jac := mustModel("JAC")
+	sizes := []int{8, 16, 32, 64, 128, 256}
+	if o.Quick {
+		sizes = []int{8, 16, 32, 64}
+	}
+	r := &Report{
+		ID:      "fig7",
+		Title:   "Multi-node ensemble scaling, DYAD vs Lustre (JAC, stride 880)",
+		Columns: append([]string{"backend", "pairs", "nodes"}, stdCols...),
+	}
+	var last [2]core.Aggregate
+	for _, pairs := range sizes {
+		for bi, b := range []core.Backend{core.DYAD, core.Lustre} {
+			cfg := core.Config{Backend: b, Model: jac, Pairs: pairs}
+			agg, err := runAgg(cfg, o)
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, append(
+				[]string{b.String(), fmt.Sprintf("%d", pairs), fmt.Sprintf("%d", cfg.ComputeNodes())},
+				aggRow(agg)...))
+			last[bi] = agg
+		}
+	}
+	dy, lu := last[0], last[1]
+	r.Notes = append(r.Notes,
+		ratioNote("Lustre/DYAD producer data movement (largest ensemble)", 5.3,
+			stats.Ratio(lu.ProdMovement.Mean, dy.ProdMovement.Mean)),
+		ratioNote("Lustre/DYAD consumer data movement (largest ensemble)", 5.8,
+			stats.Ratio(lu.ConsMovement.Mean, dy.ConsMovement.Mean)),
+		ratioNote("Lustre/DYAD overall consumption (largest ensemble)", 192.0,
+			stats.Ratio(lu.ConsTotalMean(), dy.ConsTotalMean())),
+	)
+	return r, nil
+}

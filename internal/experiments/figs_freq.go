@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/stats"
+)
+
+// freqStrides are the output strides of the frequency-scaling study (§IV-F).
+var freqStrides = []int{1, 5, 10, 50}
+
+// freqScaling runs the §IV-F sweep for one model and reports the series.
+func freqScaling(id, title string, model models.Model, paperProd, paperOverallLo, paperOverallHi float64, o Options) (*Report, error) {
+	o = o.Defaults()
+	r := &Report{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"backend", "stride", "freq"}, stdCols...),
+	}
+	type agg2 struct{ dy, lu core.Aggregate }
+	byStride := map[int]*agg2{}
+	for _, stride := range freqStrides {
+		a2 := &agg2{}
+		byStride[stride] = a2
+		for bi, b := range []core.Backend{core.DYAD, core.Lustre} {
+			agg, err := runAgg(core.Config{
+				Backend: b, Model: model, Pairs: fig8Pairs, Stride: stride,
+			}, o)
+			if err != nil {
+				return nil, err
+			}
+			freq := model.Frequency(stride)
+			r.Rows = append(r.Rows, append(
+				[]string{b.String(), fmt.Sprintf("%d", stride), fmtDur(freq)},
+				aggRow(agg)...))
+			if bi == 0 {
+				a2.dy = agg
+			} else {
+				a2.lu = agg
+			}
+		}
+	}
+	lo, hi := byStride[freqStrides[0]], byStride[freqStrides[len(freqStrides)-1]]
+	r.Notes = append(r.Notes,
+		ratioNote("Lustre/DYAD production (stride 50)", paperProd,
+			stats.Ratio(hi.lu.ProdTotalMean(), hi.dy.ProdTotalMean())))
+	loRatio := stats.Ratio(lo.lu.ConsTotalMean(), lo.dy.ConsTotalMean())
+	hiRatio := stats.Ratio(hi.lu.ConsTotalMean(), hi.dy.ConsTotalMean())
+	if paperOverallLo > 0 {
+		r.Notes = append(r.Notes,
+			ratioNote("Lustre/DYAD overall consumption (stride 1)", paperOverallLo, loRatio),
+			ratioNote("Lustre/DYAD overall consumption (stride 50)", paperOverallHi, hiRatio))
+	} else {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"Lustre/DYAD overall consumption widens with stride: %.1fx (stride 1) -> %.1fx (stride 50) (paper: gap widens, unquantified)",
+			loRatio, hiRatio))
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("idle growth with stride — DYAD: %s -> %s, Lustre: %s -> %s (paper: idle increases with stride for both)",
+			stats.FormatSeconds(lo.dy.ConsIdle.Mean), stats.FormatSeconds(hi.dy.ConsIdle.Mean),
+			stats.FormatSeconds(lo.lu.ConsIdle.Mean), stats.FormatSeconds(hi.lu.ConsIdle.Mean)))
+	return r, nil
+}
+
+// Fig11 reproduces Figure 11: frequency scaling with JAC across strides
+// 1/5/10/50 on two node groups with 16 pairs. Paper headlines: DYAD ~4.8x
+// faster production; consumption gap widens with stride.
+func Fig11(o Options) (*Report, error) {
+	return freqScaling("fig11",
+		"Frequency scaling, JAC (strides 1/5/10/50, 16 pairs)",
+		mustModel("JAC"), 4.8, 0, 0, o)
+}
+
+// Fig12 reproduces Figure 12: frequency scaling with STMV. Paper
+// headlines: DYAD ~2.0x faster production; overall consumption 13.0x
+// (stride 1) to 192.2x (stride 50) faster.
+func Fig12(o Options) (*Report, error) {
+	return freqScaling("fig12",
+		"Frequency scaling, STMV (strides 1/5/10/50, 16 pairs)",
+		mustModel("STMV"), 2.0, 13.0, 192.2, o)
+}

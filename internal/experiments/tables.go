@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+)
+
+// Table1 regenerates Table I: the molecular model characteristics.
+func Table1(o Options) (*Report, error) {
+	r := &Report{
+		ID:      "table1",
+		Title:   "Targeted molecular models",
+		Columns: []string{"Name", "Num Atoms", "Frame size", "Steps/second"},
+	}
+	for _, m := range models.Registry() {
+		r.Rows = append(r.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", m.Atoms),
+			humanSize(m.FrameBytes()),
+			fmt.Sprintf("%.2f", m.StepsPerSecond),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"frame sizes derive from the 28-byte/atom wire format; paper values: 644.21 KiB, 2.46 MiB, 8.75 MiB, 28.48 MiB")
+	return r, nil
+}
+
+// Table2 regenerates Table II: strides equalizing generation frequency.
+func Table2(o Options) (*Report, error) {
+	r := &Report{
+		ID:      "table2",
+		Title:   "Stride for each molecular model",
+		Columns: []string{"Name", "Steps/second", "ms/step", "Stride", "Frequency (s)"},
+	}
+	for _, m := range models.Registry() {
+		r.Rows = append(r.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%.2f", m.StepsPerSecond),
+			fmt.Sprintf("%.2f", m.MsPerStep()),
+			fmt.Sprintf("%d", m.Stride),
+			fmt.Sprintf("%.2f", m.DefaultFrequency().Seconds()),
+		})
+	}
+	r.Notes = append(r.Notes, "paper frequency column: 0.82 s for every model")
+	return r, nil
+}
+
+// humanSize renders bytes in KiB/MiB as the paper does.
+func humanSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

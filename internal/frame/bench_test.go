@@ -1,0 +1,25 @@
+package frame
+
+import "testing"
+
+// BenchmarkEncodeJAC measures serializing a JAC-sized frame (23,558 atoms).
+func BenchmarkEncodeJAC(b *testing.B) {
+	f := NewSynthetic("JAC", 1, 23_558, 7)
+	b.SetBytes(EncodedSize("JAC", 23_558))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Encode()
+	}
+}
+
+// BenchmarkDecodeJAC measures parsing a JAC-sized frame.
+func BenchmarkDecodeJAC(b *testing.B) {
+	buf := NewSynthetic("JAC", 1, 23_558, 7).Encode()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

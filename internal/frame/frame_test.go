@@ -1,0 +1,93 @@
+package frame
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodedSizeMatchesTableI(t *testing.T) {
+	// The paper's Table I frame sizes derive from ~28 bytes/atom; check the
+	// wire format lands within 0.1% of the published figures.
+	cases := []struct {
+		model string
+		atoms int
+		wantK float64 // KiB
+	}{
+		{"JAC", 23_558, 644.21},
+		{"ApoA1", 92_224, 2.46 * 1024},
+		{"F1 ATPase", 327_506, 8.75 * 1024},
+		{"STMV", 1_066_628, 28.48 * 1024},
+	}
+	for _, c := range cases {
+		gotK := float64(EncodedSize(c.model, c.atoms)) / 1024
+		if math.Abs(gotK-c.wantK)/c.wantK > 0.005 {
+			t.Errorf("%s: %0.2f KiB, want ~%0.2f KiB", c.model, gotK, c.wantK)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := NewSynthetic("JAC", 880, 1000, 42)
+	buf := f.Encode()
+	if int64(len(buf)) != EncodedSize("JAC", 1000) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), EncodedSize("JAC", 1000))
+	}
+	g, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("decode(encode(f)) != f")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("short")); err == nil {
+		t.Error("short buffer accepted")
+	}
+	f := NewSynthetic("X", 1, 10, 1)
+	buf := f.Encode()
+	buf[0] ^= 0xff // corrupt magic
+	if _, err := Decode(buf); err == nil {
+		t.Error("bad magic accepted")
+	}
+	buf = f.Encode()
+	if _, err := Decode(buf[:len(buf)-4]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := NewSynthetic("JAC", 1, 100, 7)
+	b := NewSynthetic("JAC", 1, 100, 7)
+	if !a.Equal(b) {
+		t.Fatal("same-seed frames differ")
+	}
+	c := NewSynthetic("JAC", 1, 100, 8)
+	if a.Equal(c) {
+		t.Fatal("different-seed frames identical")
+	}
+}
+
+func TestSyntheticPositionsInBox(t *testing.T) {
+	f := NewSynthetic("JAC", 1, 500, 3)
+	for _, x := range f.Pos {
+		if x < 0 || x >= 100 {
+			t.Fatalf("position %v outside 100 Å box", x)
+		}
+	}
+}
+
+// Property: round trip preserves arbitrary frames.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(model string, step int64, atomsRaw uint16, seed uint64) bool {
+		atoms := int(atomsRaw % 2048)
+		fr := NewSynthetic(model, step, atoms, seed)
+		got, err := Decode(fr.Encode())
+		return err == nil && fr.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

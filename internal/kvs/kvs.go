@@ -1,0 +1,142 @@
+// Package kvs models the key-value store DYAD uses for global metadata
+// management and for its loosely-coupled first-touch synchronization (the
+// Flux KVS in the real system). The store runs as a queued service hosted
+// on one node; clients on other nodes pay network round trips, and every
+// operation queues at the single server — which is exactly the "stress on
+// KVS" effect the paper observes in Figure 9 for small, bursty frames.
+package kvs
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Params is the KVS cost model.
+type Params struct {
+	CommitService time.Duration // server time per commit (Put)
+	LookupService time.Duration // server time per lookup (Get/Stat)
+	WatchService  time.Duration // server time to register a watch
+	MsgBytes      int64         // request/response message size
+}
+
+// DefaultParams returns a Flux-KVS-like cost model.
+func DefaultParams() Params {
+	return Params{
+		CommitService: 90 * time.Microsecond,
+		LookupService: 35 * time.Microsecond,
+		WatchService:  45 * time.Microsecond,
+		MsgBytes:      256,
+	}
+}
+
+// Store is the key-value service.
+type Store struct {
+	cl     *cluster.Cluster
+	node   *cluster.Node
+	params Params
+	server *sim.Resource
+
+	data    map[string][]byte
+	watches map[string]*sim.Latch
+
+	Commits int64
+	Lookups int64
+	Waits   int64
+}
+
+// New creates a store hosted on the given node.
+func New(cl *cluster.Cluster, node *cluster.Node, params Params) *Store {
+	return &Store{
+		cl:      cl,
+		node:    node,
+		params:  params,
+		server:  sim.NewResource(cl.Engine(), node.Name()+"/kvs", 1),
+		data:    make(map[string][]byte),
+		watches: make(map[string]*sim.Latch),
+	}
+}
+
+// Node returns the hosting node.
+func (s *Store) Node() *cluster.Node { return s.node }
+
+// Server exposes the service queue (for utilization stats).
+func (s *Store) Server() *sim.Resource { return s.server }
+
+// Commit publishes value under key, firing any watches. The calling
+// process pays the round trip from its node plus queued server time.
+func (s *Store) Commit(p *sim.Proc, from *cluster.Node, key string, value []byte) {
+	s.Commits++
+	s.cl.RPC(p, from, s.node, s.params.MsgBytes+int64(len(value)), 64, s.server, s.params.CommitService)
+	s.data[key] = value
+	if l, ok := s.watches[key]; ok {
+		l.Fire()
+	}
+}
+
+// Lookup fetches the value under key, reporting whether it exists.
+func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, bool) {
+	s.Lookups++
+	v, ok := s.data[key]
+	resp := int64(64)
+	if ok {
+		resp += int64(len(v))
+	}
+	s.cl.RPC(p, from, s.node, s.params.MsgBytes, resp, s.server, s.params.LookupService)
+	return v, ok
+}
+
+// WaitFor blocks until key exists, then returns its value. If the key is
+// already present it degenerates to a Lookup. This is DYAD's loose
+// first-consumption synchronization: the consumer waits, the producer is
+// never involved.
+func (s *Store) WaitFor(p *sim.Proc, from *cluster.Node, key string) []byte {
+	if v, ok := s.data[key]; ok {
+		s.Lookups++
+		s.cl.RPC(p, from, s.node, s.params.MsgBytes, 64+int64(len(v)), s.server, s.params.LookupService)
+		return v
+	}
+	s.Waits++
+	// Register the watch (one round trip), block until the commit fires it,
+	// then receive the notification message. The commit may land while the
+	// registration round trip is in flight; the re-check below closes that
+	// window (the server replies with the value immediately in that case).
+	s.cl.RPC(p, from, s.node, s.params.MsgBytes, 64, s.server, s.params.WatchService)
+	if v, ok := s.data[key]; ok {
+		return v
+	}
+	l, ok := s.watches[key]
+	if !ok {
+		l = &sim.Latch{}
+		s.watches[key] = l
+	}
+	l.Wait(p)
+	v := s.data[key]
+	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
+	return v
+}
+
+// WatchWait is the non-adaptive variant of WaitFor: it always pays the
+// watch-registration round trip, even when the key is already present.
+// Used by ablation studies that disable DYAD's protocol switching.
+func (s *Store) WatchWait(p *sim.Proc, from *cluster.Node, key string) []byte {
+	s.Waits++
+	s.cl.RPC(p, from, s.node, s.params.MsgBytes, 64, s.server, s.params.WatchService)
+	if v, ok := s.data[key]; ok {
+		s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
+		return v
+	}
+	l, ok := s.watches[key]
+	if !ok {
+		l = &sim.Latch{}
+		s.watches[key] = l
+	}
+	l.Wait(p)
+	v := s.data[key]
+	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
+	return v
+}
+
+// Len returns the number of committed keys.
+func (s *Store) Len() int { return len(s.data) }

@@ -1,0 +1,144 @@
+// Package locks provides an advisory, flock-style file lock manager. DYAD
+// uses shared/exclusive path locks as its cheap synchronization protocol
+// once data is known to be available (the "much less costly file lock-based
+// synchronization" of the paper's multi-protocol scheme).
+package locks
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Mode is the lock mode requested.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// Params is the lock-path cost model.
+type Params struct {
+	// SyscallLatency is charged per lock/unlock call (a local flock).
+	SyscallLatency time.Duration
+}
+
+// DefaultParams returns a local-flock cost model.
+func DefaultParams() Params {
+	return Params{SyscallLatency: 1500 * time.Nanosecond}
+}
+
+// Manager grants advisory locks keyed by cleaned path.
+type Manager struct {
+	params Params
+	locks  map[string]*pathLock
+
+	// Contended counts acquisitions that had to wait.
+	Contended int64
+	Acquired  int64
+}
+
+type pathLock struct {
+	sharedHolders int
+	exclusive     bool
+	queue         []*waiter
+}
+
+type waiter struct {
+	p    *sim.Proc
+	mode Mode
+}
+
+// NewManager returns an empty lock table.
+func NewManager(params Params) *Manager {
+	return &Manager{params: params, locks: make(map[string]*pathLock)}
+}
+
+func (m *Manager) lockFor(path string) *pathLock {
+	p := vfs.Clean(path)
+	l, ok := m.locks[p]
+	if !ok {
+		l = &pathLock{}
+		m.locks[p] = l
+	}
+	return l
+}
+
+// Lock blocks until the lock on path is granted in the requested mode.
+// Grants are FIFO: a shared request queued behind an exclusive one waits.
+func (m *Manager) Lock(p *sim.Proc, path string, mode Mode) {
+	p.Sleep(m.params.SyscallLatency)
+	l := m.lockFor(path)
+	if l.grantable(mode) && len(l.queue) == 0 {
+		l.grant(mode)
+		m.Acquired++
+		return
+	}
+	m.Contended++
+	l.queue = append(l.queue, &waiter{p: p, mode: mode})
+	p.Block()
+	m.Acquired++
+}
+
+// Unlock releases one holder of the lock on path.
+func (m *Manager) Unlock(p *sim.Proc, path string, mode Mode) {
+	p.Sleep(m.params.SyscallLatency)
+	l := m.lockFor(path)
+	switch mode {
+	case Shared:
+		if l.sharedHolders <= 0 {
+			panic("locks: shared unlock with no shared holders")
+		}
+		l.sharedHolders--
+	case Exclusive:
+		if !l.exclusive {
+			panic("locks: exclusive unlock while not exclusively held")
+		}
+		l.exclusive = false
+	}
+	// Grant in FIFO order; consecutive shared requests are granted together.
+	for len(l.queue) > 0 && l.grantable(l.queue[0].mode) {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.grant(w.mode)
+		w.p.Wake()
+		if w.mode == Exclusive {
+			break
+		}
+	}
+}
+
+// WithExclusive runs fn while holding the exclusive lock on path.
+func (m *Manager) WithExclusive(p *sim.Proc, path string, fn func()) {
+	m.Lock(p, path, Exclusive)
+	defer m.Unlock(p, path, Exclusive)
+	fn()
+}
+
+// WithShared runs fn while holding a shared lock on path.
+func (m *Manager) WithShared(p *sim.Proc, path string, fn func()) {
+	m.Lock(p, path, Shared)
+	defer m.Unlock(p, path, Shared)
+	fn()
+}
+
+func (l *pathLock) grantable(mode Mode) bool {
+	switch mode {
+	case Shared:
+		return !l.exclusive
+	case Exclusive:
+		return !l.exclusive && l.sharedHolders == 0
+	}
+	panic("locks: unknown mode")
+}
+
+func (l *pathLock) grant(mode Mode) {
+	if mode == Shared {
+		l.sharedHolders++
+	} else {
+		l.exclusive = true
+	}
+}

@@ -1,0 +1,127 @@
+package lustre
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestHandleRangeReadTouchesOnlyCoveredStripes(t *testing.T) {
+	e := sim.NewEngine(1)
+	cl, fs := testRig(e, 1, 4)
+	c := fs.Client(cl.Node(0))
+	payload := bytes.Repeat([]byte("x"), 4<<20) // 4 chunks of 1 MiB
+	e.Spawn("io", func(p *sim.Proc) {
+		if err := c.WriteFile(p, "/f", payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		before := fs.OSTOps
+		h, err := c.Open(p, "/f")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		// A read inside one stripe must cost exactly one OST RPC.
+		if _, err := h.ReadAt(p, 100, 1000); err != nil {
+			t.Errorf("ReadAt: %v", err)
+		}
+		if got := fs.OSTOps - before; got != 1 {
+			t.Errorf("1 KB intra-stripe read used %d OST RPCs, want 1", got)
+		}
+		// A read spanning a stripe boundary costs two.
+		before = fs.OSTOps
+		if _, err := h.ReadAt(p, 1<<20-512, 1024); err != nil {
+			t.Errorf("ReadAt: %v", err)
+		}
+		if got := fs.OSTOps - before; got != 2 {
+			t.Errorf("boundary-spanning read used %d OST RPCs, want 2", got)
+		}
+		_ = h.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlePartialReadCheaperThanFull(t *testing.T) {
+	e := sim.NewEngine(1)
+	cl, fs := testRig(e, 1, 4)
+	c := fs.Client(cl.Node(0))
+	payload := bytes.Repeat([]byte("y"), 8<<20)
+	var partial, full time.Duration
+	e.Spawn("io", func(p *sim.Proc) {
+		_ = c.WriteFile(p, "/f", payload)
+		h, _ := c.Open(p, "/f")
+		t0 := p.Now()
+		if _, err := h.ReadAt(p, 0, 64<<10); err != nil {
+			t.Errorf("partial: %v", err)
+		}
+		partial = p.Now() - t0
+		t1 := p.Now()
+		if _, err := c.ReadFile(p, "/f"); err != nil {
+			t.Errorf("full: %v", err)
+		}
+		full = p.Now() - t1
+		_ = h.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if partial*3 > full {
+		t.Fatalf("64 KiB partial read (%v) not ≪ 8 MiB full read (%v)", partial, full)
+	}
+}
+
+func TestHandleWriteAtUpdatesStripes(t *testing.T) {
+	e := sim.NewEngine(1)
+	cl, fs := testRig(e, 1, 2)
+	c := fs.Client(cl.Node(0))
+	e.Spawn("io", func(p *sim.Proc) {
+		h, err := c.CreateFile(p, "/n")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := h.Append(p, bytes.Repeat([]byte("a"), 2<<20)); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		if err := h.WriteAt(p, 1<<20, []byte("MARK")); err != nil {
+			t.Errorf("WriteAt: %v", err)
+		}
+		got, err := h.ReadAt(p, 1<<20, 4)
+		if err != nil || string(got) != "MARK" {
+			t.Errorf("read back %q, %v", got, err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleCreateVisibleAcrossClients(t *testing.T) {
+	e := sim.NewEngine(1)
+	cl, fs := testRig(e, 2, 2)
+	writer := fs.Client(cl.Node(0))
+	reader := fs.Client(cl.Node(1))
+	e.Spawn("w", func(p *sim.Proc) {
+		h, _ := writer.CreateFile(p, "/shared")
+		_ = h.Append(p, []byte("cross-node"))
+		_ = h.Close(p)
+	})
+	e.Spawn("r", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		got, err := reader.ReadFile(p, "/shared")
+		if err != nil || string(got) != "cross-node" {
+			t.Errorf("cross-node read %q, %v", got, err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package lustre models a Lustre-like parallel filesystem: a metadata
+// server (MDS), a set of object storage targets (OSTs) holding striped file
+// data, and per-node clients that translate POSIX calls into RPCs over the
+// cluster fabric.
+//
+// The model captures the costs that dominate the paper's Lustre results:
+// every metadata operation is a queued MDS round trip, every byte crosses
+// the network to a shared server, small files cannot exploit striping
+// parallelism, and many concurrent clients contend at the MDS and OSTs
+// (plus optional background "other jobs" interference).
+package lustre
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Params is the Lustre cost model.
+type Params struct {
+	StripeSize  int64 // bytes per stripe chunk (Lustre default: 1 MiB)
+	StripeCount int   // OSTs a file is striped over (Lustre default: 1)
+
+	MDSService time.Duration // MDS time per metadata op
+	OSTService time.Duration // OST per-RPC overhead (request processing)
+
+	// PerFileWriteOverhead / PerFileReadOverhead model the per-file OST
+	// costs that dominate small-file I/O on Lustre (object layout
+	// instantiation, extent-lock acquisition, grant negotiation); charged
+	// once per file on the first chunk's OST.
+	PerFileWriteOverhead time.Duration
+	PerFileReadOverhead  time.Duration
+
+	OSTWriteBandwidth float64 // bytes/s of one OST's backing storage
+	OSTReadBandwidth  float64
+
+	// Background interference ("other jobs" on a shared center-wide
+	// filesystem). When BackgroundLoad > 0, StartNoise spawns per-OST noise
+	// processes that keep roughly that fraction of each OST busy.
+	BackgroundLoad float64
+}
+
+// DefaultParams returns a model of a mid-size production Lustre system as
+// seen from one job: fast in aggregate, but with per-stream costs far above
+// node-local NVMe.
+func DefaultParams() Params {
+	return Params{
+		StripeSize:           1 << 20,
+		StripeCount:          1,
+		MDSService:           220 * time.Microsecond,
+		OSTService:           1400 * time.Microsecond,
+		PerFileWriteOverhead: 1800 * time.Microsecond,
+		PerFileReadOverhead:  2400 * time.Microsecond,
+		OSTWriteBandwidth:    1.15e9,
+		OSTReadBandwidth:     1.3e9,
+		BackgroundLoad:       0.12,
+	}
+}
+
+// ost is one object storage target: a service queue on a server node.
+type ost struct {
+	node *cluster.Node
+	srv  *sim.Resource
+}
+
+// FS is the Lustre filesystem instance (servers + file table).
+type FS struct {
+	cl      *cluster.Cluster
+	params  Params
+	mdsNode *cluster.Node
+	mds     *sim.Resource
+	osts    []*ost
+	tree    *vfs.Tree
+	layout  map[string]int // path -> index of first OST
+	nextOST int
+
+	noiseStop bool
+
+	MDSOps int64
+	OSTOps int64
+}
+
+// New builds a Lustre instance with its MDS on mdsNode and one OST on each
+// of ostNodes. Server nodes should be distinct from compute nodes, as in a
+// real center.
+func New(cl *cluster.Cluster, mdsNode *cluster.Node, ostNodes []*cluster.Node, params Params) *FS {
+	if len(ostNodes) == 0 {
+		panic("lustre: need at least one OST")
+	}
+	if params.StripeSize <= 0 {
+		panic("lustre: stripe size must be positive")
+	}
+	if params.StripeCount < 1 {
+		params.StripeCount = 1
+	}
+	if params.StripeCount > len(ostNodes) {
+		params.StripeCount = len(ostNodes)
+	}
+	f := &FS{
+		cl:      cl,
+		params:  params,
+		mdsNode: mdsNode,
+		mds:     sim.NewResource(cl.Engine(), mdsNode.Name()+"/mds", 1),
+		tree:    vfs.NewTree(),
+		layout:  make(map[string]int),
+	}
+	for i, n := range ostNodes {
+		f.osts = append(f.osts, &ost{
+			node: n,
+			srv:  sim.NewResource(cl.Engine(), fmt.Sprintf("%s/ost%d", n.Name(), i), 1),
+		})
+	}
+	return f
+}
+
+// Params returns the active cost model.
+func (f *FS) Params() Params { return f.params }
+
+// Tree exposes the file table (for invariant checks in tests).
+func (f *FS) Tree() *vfs.Tree { return f.tree }
+
+// OSTs returns the number of object storage targets.
+func (f *FS) OSTs() int { return len(f.osts) }
+
+// MDSQueue exposes the MDS service queue.
+func (f *FS) MDSQueue() *sim.Resource { return f.mds }
+
+// StartNoise spawns background-interference processes, one per OST, that
+// keep ~BackgroundLoad of each OST busy with bursty foreign I/O. Call once
+// per engine before Run if interference is wanted.
+func (f *FS) StartNoise() {
+	if f.params.BackgroundLoad <= 0 {
+		return
+	}
+	for i, o := range f.osts {
+		o := o
+		f.cl.Engine().Spawn(fmt.Sprintf("lustre-noise-%d", i), func(p *sim.Proc) {
+			// Busy bursts of mean 2 ms separated by idle gaps sized to hit
+			// the target utilization. Call StopNoise when the measured
+			// workload has drained so the engine can finish.
+			burst := 2 * time.Millisecond
+			gap := time.Duration(float64(burst) * (1 - f.params.BackgroundLoad) / f.params.BackgroundLoad)
+			for n := 0; n < 1_000_000; n++ {
+				p.Sleep(p.Rand().Exp(gap))
+				o.srv.Use(p, p.Rand().Exp(burst))
+				if f.noiseStop {
+					return
+				}
+			}
+		})
+	}
+}
+
+// StopNoise asks noise processes to exit at their next wakeup.
+func (f *FS) StopNoise() { f.noiseStop = true }
+
+// mdsRPC charges one metadata round trip from the client node.
+func (f *FS) mdsRPC(p *sim.Proc, from *cluster.Node) {
+	f.MDSOps++
+	f.cl.RPC(p, from, f.mdsNode, 256, 128, f.mds, f.params.MDSService)
+}
+
+// ostFor returns the OST index for chunk k of a file whose layout starts
+// at first.
+func (f *FS) ostFor(first, k int) *ost {
+	return f.osts[(first+k)%len(f.osts)]
+}
+
+// chunks splits n bytes into stripe-size pieces.
+func (f *FS) chunks(n int64) []int64 {
+	if n == 0 {
+		return []int64{0}
+	}
+	var out []int64
+	for n > 0 {
+		c := f.params.StripeSize
+		if n < c {
+			c = n
+		}
+		out = append(out, c)
+		n -= c
+	}
+	return out
+}
+
+// writeChunks pushes data chunks to the file's OSTs in order (RPC pipeline
+// depth 1, as a single POSIX writer sees). The first chunk carries the
+// per-file object setup overhead.
+func (f *FS) writeChunks(p *sim.Proc, from *cluster.Node, first int, n int64) {
+	for k, c := range f.chunks(n) {
+		o := f.ostFor(first, k%f.params.StripeCount)
+		f.OSTOps++
+		service := f.params.OSTService + bwTime(c, f.params.OSTWriteBandwidth)
+		if k == 0 {
+			service += f.params.PerFileWriteOverhead
+		}
+		f.cl.RPC(p, from, o.node, c, 64, o.srv, service)
+	}
+}
+
+// readChunks pulls data chunks from the file's OSTs in order.
+func (f *FS) readChunks(p *sim.Proc, from *cluster.Node, first int, n int64) {
+	for k, c := range f.chunks(n) {
+		o := f.ostFor(first, k%f.params.StripeCount)
+		f.OSTOps++
+		service := f.params.OSTService + bwTime(c, f.params.OSTReadBandwidth)
+		if k == 0 {
+			service += f.params.PerFileReadOverhead
+		}
+		f.cl.RPC(p, from, o.node, 256, c, o.srv, service)
+	}
+}
+
+func bwTime(n int64, bw float64) time.Duration {
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// Client returns a vfs.FS view of the filesystem for processes on node.
+func (f *FS) Client(node *cluster.Node) *Client {
+	return &Client{fs: f, node: node}
+}
+
+// Client is a per-node Lustre mount.
+type Client struct {
+	fs   *FS
+	node *cluster.Node
+}
+
+// Name implements vfs.FS.
+func (c *Client) Name() string { return "lustre" }
+
+// Node returns the client's node.
+func (c *Client) Node() *cluster.Node { return c.node }
+
+// WriteFile implements vfs.FS: MDS create + striped OST writes + MDS close.
+func (c *Client) WriteFile(p *sim.Proc, path string, data []byte) error {
+	f := c.fs
+	path = vfs.Clean(path)
+	f.mdsRPC(p, c.node) // open/create with layout allocation
+	first, ok := f.layout[path]
+	if !ok {
+		first = f.nextOST
+		f.nextOST = (f.nextOST + 1) % len(f.osts)
+		f.layout[path] = first
+	}
+	f.writeChunks(p, c.node, first, int64(len(data)))
+	f.mdsRPC(p, c.node) // close: size/attr update at the MDS
+	f.tree.Put(path, data)
+	return nil
+}
+
+// ReadFile implements vfs.FS: MDS lookup + striped OST reads.
+func (c *Client) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	f := c.fs
+	path = vfs.Clean(path)
+	f.mdsRPC(p, c.node)
+	data, ok := f.tree.Get(path)
+	if !ok {
+		return nil, vfs.PathError("read", path, vfs.ErrNotExist)
+	}
+	f.readChunks(p, c.node, f.layout[path], int64(len(data)))
+	return data, nil
+}
+
+// Stat implements vfs.FS: one MDS round trip.
+func (c *Client) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	f := c.fs
+	path = vfs.Clean(path)
+	f.mdsRPC(p, c.node)
+	sz, ok := f.tree.Size(path)
+	if !ok {
+		return vfs.FileInfo{}, vfs.PathError("stat", path, vfs.ErrNotExist)
+	}
+	return vfs.FileInfo{Path: path, Size: sz}, nil
+}
+
+// Unlink implements vfs.FS: MDS unlink + object destroy on the first OST.
+func (c *Client) Unlink(p *sim.Proc, path string) error {
+	f := c.fs
+	path = vfs.Clean(path)
+	f.mdsRPC(p, c.node)
+	first, had := f.layout[path]
+	if !f.tree.Remove(path) {
+		return vfs.PathError("unlink", path, vfs.ErrNotExist)
+	}
+	if had {
+		o := f.osts[first]
+		f.OSTOps++
+		f.cl.RPC(p, c.node, o.node, 256, 64, o.srv, f.params.OSTService/4)
+		delete(f.layout, path)
+	}
+	return nil
+}
+
+var _ vfs.FS = (*Client)(nil)

@@ -1,0 +1,22 @@
+package md
+
+import "testing"
+
+// BenchmarkStep512 measures one velocity-Verlet step of a 512-atom LJ
+// fluid with cell lists.
+func BenchmarkStep512(b *testing.B) {
+	s := NewLattice(512, 0.8, 1.0, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkStep4096 measures a 4,096-atom step (cell-list scaling).
+func BenchmarkStep4096(b *testing.B) {
+	s := NewLattice(4096, 0.8, 1.0, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,113 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 4 {
+		t.Fatalf("registry has %d models, want 4", len(reg))
+	}
+	wantAtoms := map[string]int{
+		"JAC": 23_558, "ApoA1": 92_224, "F1 ATPase": 327_506, "STMV": 1_066_628,
+	}
+	wantKiB := map[string]float64{
+		"JAC": 644.21, "ApoA1": 2.46 * 1024, "F1 ATPase": 8.75 * 1024, "STMV": 28.48 * 1024,
+	}
+	for _, m := range reg {
+		if m.Atoms != wantAtoms[m.Name] {
+			t.Errorf("%s atoms = %d, want %d", m.Name, m.Atoms, wantAtoms[m.Name])
+		}
+		gotKiB := float64(m.FrameBytes()) / 1024
+		if math.Abs(gotKiB-wantKiB[m.Name])/wantKiB[m.Name] > 0.005 {
+			t.Errorf("%s frame = %.2f KiB, want ~%.2f", m.Name, gotKiB, wantKiB[m.Name])
+		}
+	}
+}
+
+func TestStrideFrequencyMatchesTableII(t *testing.T) {
+	// Table II: every model's default stride yields ~0.82 s between frames.
+	// (The paper's own table rounds: 92 strides * 8.64 ms = 0.795 s for
+	// F1 ATPase, printed as 0.82 s; allow that slack.)
+	for _, m := range Registry() {
+		f := m.DefaultFrequency().Seconds()
+		if math.Abs(f-0.82) > 0.03 {
+			t.Errorf("%s frequency = %.4f s, want ~0.82 s", m.Name, f)
+		}
+	}
+}
+
+func TestMsPerStepMatchesTableII(t *testing.T) {
+	want := map[string]float64{
+		"JAC": 0.93, "ApoA1": 2.79, "F1 ATPase": 8.64, "STMV": 29.29,
+	}
+	for _, m := range Registry() {
+		if math.Abs(m.MsPerStep()-want[m.Name]) > 0.01 {
+			t.Errorf("%s ms/step = %.3f, want %.2f", m.Name, m.MsPerStep(), want[m.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"JAC", "ApoA1", "F1 ATPase", "STMV", "F1ATPase"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("ubiquitin"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestFrequencyScalesWithStride(t *testing.T) {
+	jac, _ := ByName("JAC")
+	if jac.Frequency(10) != 10*jac.StepDuration() {
+		t.Fatal("frequency != stride * step duration")
+	}
+	if jac.Frequency(1) >= jac.Frequency(50) {
+		t.Fatal("frequency not increasing in stride")
+	}
+}
+
+func TestStepDurationOrdering(t *testing.T) {
+	// Bigger models are slower: step duration increases down Table I.
+	reg := Registry()
+	for i := 1; i < len(reg); i++ {
+		if reg[i].StepDuration() <= reg[i-1].StepDuration() {
+			t.Fatalf("%s step (%v) not slower than %s (%v)",
+				reg[i].Name, reg[i].StepDuration(), reg[i-1].Name, reg[i-1].StepDuration())
+		}
+	}
+	if reg[0].StepDuration() > time.Millisecond {
+		t.Fatalf("JAC step %v implausible", reg[0].StepDuration())
+	}
+}
+
+func TestCustomModel(t *testing.T) {
+	m, err := Custom("LIG", 50_000, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stride != 410 {
+		t.Fatalf("derived stride %d, want 410 (0.82s at 500 steps/s)", m.Stride)
+	}
+	if math.Abs(m.DefaultFrequency().Seconds()-0.82) > 0.01 {
+		t.Fatalf("custom frequency %v", m.DefaultFrequency())
+	}
+	if _, err := Custom("", 10, 1, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Custom("x", 0, 1, 0); err == nil {
+		t.Error("zero atoms accepted")
+	}
+	if _, err := Custom("x", 10, 0, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	explicit, _ := Custom("y", 10, 100, 7)
+	if explicit.Stride != 7 {
+		t.Fatalf("explicit stride %d", explicit.Stride)
+	}
+}

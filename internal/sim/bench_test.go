@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSleepEvents measures kernel throughput: one process sleeping
+// b.N times (schedule + heap + baton passing per event).
+func BenchmarkSleepEvents(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyProcs measures baton passing across 100 interleaved procs.
+func BenchmarkManyProcs(b *testing.B) {
+	e := NewEngine(1)
+	const procs = 100
+	steps := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures queued grants under contention.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource(e, "dev", 1)
+	const procs = 16
+	steps := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				r.Use(p, 100*time.Nanosecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRNG measures the deterministic random stream.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,149 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock over a priority queue of events and
+// runs simulated processes as goroutine coroutines: at any instant at most
+// one process goroutine executes, and control passes between the kernel and
+// the running process through unbuffered channels ("baton passing"). Given
+// the same seed and the same spawn order, a simulation is fully
+// deterministic and independent of wall-clock scheduling.
+//
+// The kernel is the substrate for every simulated subsystem in this
+// repository: storage devices, network fabrics, filesystems, the Lustre and
+// DYAD services, and the MD workflow processes themselves.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as the elapsed duration since
+// the start of the simulation (t=0).
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// order (seq), which makes runs deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrStranded is reported by Run when the event queue drains while one or
+// more processes are still blocked on a signal or resource that can never
+// be granted. Stranded processes are aborted so no goroutines leak.
+var ErrStranded = errors.New("sim: processes stranded at end of run")
+
+// Engine is a discrete-event simulation instance. Create one with NewEngine,
+// spawn processes with Spawn, then call Run. Engines are not safe for use
+// from multiple OS threads; all interaction must happen either before Run or
+// from within simulated processes.
+type Engine struct {
+	now      Time
+	seq      int64
+	pq       eventHeap
+	kernelCh chan struct{} // procs hand the baton back on this channel
+	procs    []*Proc
+	live     int // procs spawned and not yet finished
+	blocked  int // procs blocked on signals/resources (not timed events)
+	seed     uint64
+	failure  error
+	tracer   func(t Time, procName, msg string)
+}
+
+// NewEngine returns an engine with its virtual clock at zero. The seed
+// drives every per-process random stream; two engines with equal seeds and
+// equal workloads produce identical event timelines.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		kernelCh: make(chan struct{}),
+		seed:     seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// SetTracer installs a callback invoked by Proc.Tracef. A nil tracer (the
+// default) makes tracing free.
+func (e *Engine) SetTracer(fn func(t Time, procName, msg string)) { e.tracer = fn }
+
+// schedule enqueues fn to run at absolute virtual time at. Scheduling in
+// the past is a programming error.
+func (e *Engine) schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. It may be called before Run or from
+// within a process.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty or a process panics.
+// It returns the first process failure, or ErrStranded if processes remain
+// blocked with no pending events (a lost-signal deadlock). All stranded
+// processes are aborted before Run returns, so no goroutines leak.
+func (e *Engine) Run() error {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+		if e.failure != nil {
+			break
+		}
+	}
+	var stranded []string
+	for _, p := range e.procs {
+		if !p.done && p.waiting {
+			stranded = append(stranded, p.name)
+			p.abort()
+		}
+	}
+	// Drain any events scheduled by aborting procs (there should be none,
+	// but be safe against user cleanup code).
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if len(stranded) > 0 {
+		return fmt.Errorf("%w: %v", ErrStranded, stranded)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated process: a goroutine that runs user code and yields to
+// the kernel whenever it sleeps or blocks. Exactly one Proc executes at a
+// time, so user code never needs locks for simulation state.
+type Proc struct {
+	e       *Engine
+	name    string
+	resume  chan struct{}
+	done    bool
+	waiting bool // blocked on a signal/resource (not a timed event)
+	aborted bool
+	rng     RNG
+}
+
+// procAbort is panicked inside a stranded process to unwind it at the end
+// of a run. It is recovered by the spawn wrapper and never escapes.
+type procAbort struct{}
+
+// Spawn creates a process named name running fn, starting at the current
+// virtual time. It may be called before Run or from within another process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		rng:    NewRNG(e.seed ^ hash64(name) ^ uint64(len(e.procs)+1)*0x9e3779b97f4a7c15),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume // wait for first delivery
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(procAbort); !isAbort && e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			e.live--
+			e.kernelCh <- struct{}{} // final baton back to the kernel
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, func() { e.deliver(p) })
+	return p
+}
+
+// deliver hands the baton to p and blocks until p yields it back (by
+// sleeping, blocking, or finishing).
+func (e *Engine) deliver(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: wake of finished process %q", p.name))
+	}
+	p.waiting = false
+	p.resume <- struct{}{}
+	<-e.kernelCh
+}
+
+// yield hands the baton back to the kernel and blocks until re-delivered.
+func (p *Proc) yield() {
+	p.e.kernelCh <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(procAbort{})
+	}
+}
+
+// abort unwinds a stranded (blocked) process so its goroutine exits.
+// Called by the kernel only, for procs with waiting==true.
+func (p *Proc) abort() {
+	p.aborted = true
+	p.resume <- struct{}{}
+	<-p.e.kernelCh
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Rand returns the process's deterministic random stream.
+func (p *Proc) Rand() *RNG { return &p.rng }
+
+// Sleep advances the process by d of virtual time. Negative d panics;
+// zero d still yields (other events at the same instant run first).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q sleeping negative duration %v", p.name, d))
+	}
+	self := p
+	p.e.schedule(p.e.now+d, func() { p.e.deliver(self) })
+	p.yield()
+}
+
+// Block parks the calling process until another process calls Wake on it.
+// It is the building block for external synchronization primitives
+// (signals, resources, lock managers, key-value watches). A process that is
+// never woken is reported as stranded by Run.
+func (p *Proc) Block() {
+	p.waiting = true
+	p.yield()
+}
+
+// Wake schedules delivery of a process parked in Block at the current
+// virtual time. Calling Wake on a process that is not blocked (or waking it
+// twice) is a programming error and will panic inside the kernel.
+func (p *Proc) Wake() {
+	self := p
+	p.e.schedule(p.e.now, func() { p.e.deliver(self) })
+}
+
+// Tracef emits a trace line through the engine's tracer, if one is set.
+func (p *Proc) Tracef(format string, args ...any) {
+	if p.e.tracer != nil {
+		p.e.tracer(p.e.now, p.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// hash64 is FNV-1a, used to derive per-process RNG streams from names.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

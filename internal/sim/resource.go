@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a FIFO-queued server with a fixed number of capacity units.
+// It models contended hardware and services: an SSD channel, a NIC, a
+// metadata server's request queue. Grants are strictly FIFO: a small request
+// cannot overtake a large one, which mirrors the in-order queue pairs and
+// request queues of the real devices being modelled.
+type Resource struct {
+	name  string
+	cap   int
+	inUse int
+	queue []*resWaiter
+
+	// Busy accumulates total grant-duration (units * time) for utilization
+	// accounting; see Utilization.
+	busyUnitNanos int64
+	lastChange    Time
+	createdAt     Time
+	e             *Engine
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{name: name, cap: capacity, e: e, createdAt: e.Now()}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity units.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the currently granted units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a grant.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.e.Now()
+	r.busyUnitNanos += int64(r.inUse) * int64(now-r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization returns mean busy fraction (0..1) since creation.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.e.Now() - r.createdAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busyUnitNanos) / (float64(r.cap) * float64(elapsed))
+}
+
+// Acquire blocks p until n units are granted. n must be in [1, capacity].
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 || n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d of resource %q with capacity %d", n, r.name, r.cap))
+	}
+	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+		r.account()
+		r.inUse += n
+		return
+	}
+	r.queue = append(r.queue, &resWaiter{p: p, n: n})
+	p.Block()
+}
+
+// Release returns n units and grants the queue head(s) in FIFO order.
+func (r *Resource) Release(n int) {
+	if n < 1 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d of resource %q with %d in use", n, r.name, r.inUse))
+	}
+	r.account()
+	r.inUse -= n
+	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inUse += w.n
+		w.p.Wake()
+	}
+}
+
+// Use acquires one unit, holds it for the service duration d, and releases
+// it. It returns the total time spent (queueing + service).
+func (r *Resource) Use(p *Proc, d time.Duration) time.Duration {
+	start := p.Now()
+	r.Acquire(p, 1)
+	p.Sleep(d)
+	r.Release(1)
+	return p.Now() - start
+}
+
+// UseN is Use with n capacity units held during service.
+func (r *Resource) UseN(p *Proc, n int, d time.Duration) time.Duration {
+	start := p.Now()
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+	return p.Now() - start
+}

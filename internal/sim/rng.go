@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// RNG is a small, fast, deterministic random stream (splitmix64 state
+// update feeding an xorshift-star output). Each process owns one, derived
+// from the engine seed and the process identity, so simulations are
+// reproducible regardless of goroutine scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed uint64) RNG {
+	// Avoid the all-zero state.
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box-Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Jitter returns d scaled by a positive multiplicative noise factor with
+// the given relative standard deviation (lognormal-ish; clamped at ±4σ).
+// It models per-step compute-time variability.
+func (r *RNG) Jitter(d time.Duration, relStd float64) time.Duration {
+	if relStd <= 0 || d <= 0 {
+		return d
+	}
+	z := r.Norm()
+	if z > 4 {
+		z = 4
+	} else if z < -4 {
+		z = -4
+	}
+	f := math.Exp(relStd*z - relStd*relStd/2)
+	return time.Duration(float64(d) * f)
+}
+
+// Exp returns an exponential sample with the given mean.
+func (r *RNG) Exp(mean time.Duration) time.Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return time.Duration(-float64(mean) * math.Log(u))
+}

@@ -1,0 +1,121 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to summarize repeated runs: mean, standard deviation,
+// min/max, percentiles, and ratio formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 50)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeDurations is Summarize over durations, in seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// MeanDuration returns the mean of ds.
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Ratio returns a/b, or NaN when b == 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// FormatRatio renders a speedup ratio as the paper does ("5.3x").
+func FormatRatio(r float64) string {
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", r)
+}
+
+// FormatSeconds renders a duration in engineering units matching the
+// magnitude (µs, ms, s).
+func FormatSeconds(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	ds := []time.Duration{time.Second, 3 * time.Second}
+	if MeanDuration(ds) != 2*time.Second {
+		t.Fatalf("mean %v", MeanDuration(ds))
+	}
+	if MeanDuration(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	s := SummarizeDurations(ds)
+	if s.Mean != 2 {
+		t.Fatalf("duration summary mean %v", s.Mean)
+	}
+}
+
+func TestRatioAndFormat(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Fatal("ratio")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("zero denominator should be NaN")
+	}
+	if FormatRatio(5.25) != "5.2x" && FormatRatio(5.25) != "5.3x" {
+		t.Fatalf("FormatRatio = %q", FormatRatio(5.25))
+	}
+	if FormatRatio(math.NaN()) != "n/a" {
+		t.Fatal("NaN ratio format")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5e-6:    "5.0µs",
+		1.5e-3:  "1.50ms",
+		2.25:    "2.250s",
+		0.04861: "48.61ms",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: mean lies within [min, max], and percentiles are monotone.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true // skip inputs whose sum overflows float64
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(sorted, p)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

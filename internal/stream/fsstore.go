@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// FSStore is the on-disk counterpart of Store: producers write payloads as
+// real files in a staging directory (atomic rename publish), and consumers
+// block until the file appears. It is the degenerate-but-real deployment
+// of the DYAD contract on a shared filesystem — the same pattern
+// traditional workflows implement by hand with filesystem polling (§III
+// of the paper), packaged behind the Store API so pipelines can switch
+// between in-memory and on-disk staging without code changes.
+type FSStore struct {
+	dir  string
+	poll time.Duration
+}
+
+// NewFSStore creates a store rooted at dir (created if missing). poll is
+// the consumer's polling interval; <= 0 selects 2 ms.
+func NewFSStore(dir string, poll time.Duration) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: fsstore root: %w", err)
+	}
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	return &FSStore{dir: dir, poll: poll}, nil
+}
+
+// Dir returns the staging root.
+func (s *FSStore) Dir() string { return s.dir }
+
+// realPath maps a logical path ("/flow/f0") to a file under the root.
+func (s *FSStore) realPath(path string) string {
+	clean := strings.TrimLeft(filepath.Clean("/"+path), "/")
+	return filepath.Join(s.dir, filepath.FromSlash(clean))
+}
+
+// Produce atomically publishes data under path: write to a temporary name
+// in the same directory, then rename. Consumers never observe partial
+// payloads.
+func (s *FSStore) Produce(path string, data []byte) error {
+	dst := s.realPath(path)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("stream: produce %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".staging-*")
+	if err != nil {
+		return fmt.Errorf("stream: produce %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("stream: produce %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stream: produce %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stream: produce %s: %w", path, err)
+	}
+	return nil
+}
+
+// Consume blocks (by polling) until path has been published, then returns
+// its contents. The context bounds the wait.
+func (s *FSStore) Consume(ctx context.Context, path string) ([]byte, error) {
+	dst := s.realPath(path)
+	ticker := time.NewTicker(s.poll)
+	defer ticker.Stop()
+	for {
+		data, err := os.ReadFile(dst)
+		if err == nil {
+			return data, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("stream: consume %s: %w", path, err)
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("stream: consume %s: %w", path, ctx.Err())
+		}
+	}
+}
+
+// TryConsume returns the payload if already published.
+func (s *FSStore) TryConsume(path string) ([]byte, bool) {
+	data, err := os.ReadFile(s.realPath(path))
+	return data, err == nil
+}
+
+// Discard removes a consumed payload.
+func (s *FSStore) Discard(path string) error {
+	err := os.Remove(s.realPath(path))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("stream: discard %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newFSStore(t *testing.T) *FSStore {
+	t.Helper()
+	s, err := NewFSStore(t.TempDir()+"/staging", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	s := newFSStore(t)
+	if err := s.Produce("/flow/f0", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Consume(context.Background(), "/flow/f0")
+	if err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("consume = %q, %v", got, err)
+	}
+}
+
+func TestFSStoreConsumeBlocksUntilPublish(t *testing.T) {
+	s := newFSStore(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	var err error
+	go func() {
+		defer wg.Done()
+		got, err = s.Consume(context.Background(), "/late")
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err2 := s.Produce("/late", []byte("v")); err2 != nil {
+		t.Fatal(err2)
+	}
+	wg.Wait()
+	if err != nil || string(got) != "v" {
+		t.Fatalf("consume = %q, %v", got, err)
+	}
+}
+
+func TestFSStoreContextCancel(t *testing.T) {
+	s := newFSStore(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	if _, err := s.Consume(ctx, "/never"); err == nil {
+		t.Fatal("consume returned without publish")
+	}
+}
+
+func TestFSStoreTryConsumeAndDiscard(t *testing.T) {
+	s := newFSStore(t)
+	if _, ok := s.TryConsume("/x"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Produce("/x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.TryConsume("/x"); !ok || string(got) != "v" {
+		t.Fatalf("TryConsume %q %v", got, ok)
+	}
+	if err := s.Discard("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.TryConsume("/x"); ok {
+		t.Fatal("hit after discard")
+	}
+	if err := s.Discard("/x"); err != nil {
+		t.Fatal("double discard should be a no-op")
+	}
+}
+
+func TestFSStorePathTraversalConfined(t *testing.T) {
+	s := newFSStore(t)
+	if err := s.Produce("/../../escape", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The file must land inside the staging root, not above it.
+	if _, ok := s.TryConsume("/escape"); !ok {
+		t.Fatal("confined path not readable back under the root")
+	}
+}
+
+func TestFSStoreConcurrentPairs(t *testing.T) {
+	s := newFSStore(t)
+	const pairs, frames = 4, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, pairs)
+	for p := 0; p < pairs; p++ {
+		p := p
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for f := 0; f < frames; f++ {
+				if err := s.Produce(fmt.Sprintf("/p%d/f%d", p, f), []byte{byte(p), byte(f)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for f := 0; f < frames; f++ {
+				got, err := s.Consume(context.Background(), fmt.Sprintf("/p%d/f%d", p, f))
+				if err != nil || got[0] != byte(p) || got[1] != byte(f) {
+					errs <- fmt.Errorf("pair %d frame %d: %v %v", p, f, got, err)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < pairs; p++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

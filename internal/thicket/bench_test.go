@@ -1,0 +1,35 @@
+package thicket
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/caliper"
+)
+
+// BenchmarkEnsemble measures merging 64 profiles of a consume-shaped tree.
+func BenchmarkEnsemble(b *testing.B) {
+	profiles := make([]*caliper.Profile, 64)
+	for i := range profiles {
+		profiles[i] = consumeProfile("c", time.Duration(i)*time.Millisecond, time.Millisecond, time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromProfiles(profiles)
+	}
+}
+
+// BenchmarkQuery measures a predicate query against an ensembled tree.
+func BenchmarkQuery(b *testing.B) {
+	profiles := make([]*caliper.Profile, 16)
+	for i := range profiles {
+		profiles[i] = consumeProfile("c", time.Millisecond, time.Millisecond, time.Millisecond)
+	}
+	e := FromProfiles(profiles)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query("//dyad_consume/*[mean>0.5ms]"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package vfs
+
+import (
+	"repro/internal/sim"
+)
+
+// Handle is an open file supporting byte-range I/O — the POSIX-style
+// access pattern underneath the whole-file convenience calls. Backends
+// charge their cost models per operation; Lustre, for example, only
+// touches the OSTs whose stripes a range covers.
+type Handle interface {
+	// Path returns the cleaned path the handle refers to.
+	Path() string
+	// Size returns the current file size.
+	Size() int64
+	// ReadAt returns n bytes starting at off. Reading past EOF is an
+	// error (the workload never produces short reads).
+	ReadAt(p *sim.Proc, off, n int64) ([]byte, error)
+	// WriteAt replaces the byte range [off, off+len(data)) — extending
+	// the file if it ends there. Creating a hole (off > size) is an error.
+	WriteAt(p *sim.Proc, off int64, data []byte) error
+	// Append adds data at the end of the file.
+	Append(p *sim.Proc, data []byte) error
+	// Close releases the handle.
+	Close(p *sim.Proc) error
+}
+
+// HandleFS is implemented by backends that support byte-range access.
+type HandleFS interface {
+	FS
+	// Open returns a handle on an existing file.
+	Open(p *sim.Proc, path string) (Handle, error)
+	// Create returns a handle on a new (or truncated) file.
+	CreateFile(p *sim.Proc, path string) (Handle, error)
+}
+
+// SpliceRange is the shared copy-on-write range-update helper backends use
+// to implement WriteAt without mutating aliased payloads: it returns a new
+// slice with data spliced over [off, off+len(data)).
+func SpliceRange(cur []byte, off int64, data []byte) []byte {
+	end := off + int64(len(data))
+	n := int64(len(cur))
+	if end < n {
+		end = n
+	}
+	out := make([]byte, end)
+	copy(out, cur)
+	copy(out[off:], data)
+	return out
+}

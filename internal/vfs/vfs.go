@@ -1,0 +1,138 @@
+// Package vfs defines the POSIX-flavoured filesystem interface shared by
+// every simulated storage backend (node-local XFS, Lustre, DYAD's staging
+// area), plus a path-tree implementation backends embed.
+//
+// The workload in the paper is whole-file per frame: a producer serializes
+// one frame into one file, a consumer reads that file back. The interface
+// therefore offers whole-file operations; payloads are held by reference
+// (never copied) so large ensembles stay cheap in host memory.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+	ErrCrossed  = errors.New("vfs: operation crosses filesystem reach")
+)
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Path string
+	Size int64
+}
+
+// FS is the storage interface producers and consumers program against.
+// Every operation takes the calling simulated process and charges virtual
+// time according to the backend's cost model.
+type FS interface {
+	// Name identifies the backend ("xfs", "lustre", ...).
+	Name() string
+	// WriteFile creates (or replaces) path with data.
+	WriteFile(p *sim.Proc, path string, data []byte) error
+	// ReadFile returns the contents of path.
+	ReadFile(p *sim.Proc, path string) ([]byte, error)
+	// Stat returns metadata for path.
+	Stat(p *sim.Proc, path string) (FileInfo, error)
+	// Unlink removes path.
+	Unlink(p *sim.Proc, path string) error
+}
+
+// Clean canonicalizes a path: forward slashes, single separators, leading
+// slash, no trailing slash (except root).
+func Clean(path string) string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, s := range parts {
+		if s != "" && s != "." {
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Tree is an in-memory file table keyed by cleaned path. It holds payloads
+// by reference. Backends embed a Tree and wrap it with their cost models.
+// Tree itself charges no virtual time.
+type Tree struct {
+	files map[string]*entry
+}
+
+type entry struct {
+	data []byte
+}
+
+// NewTree returns an empty file table.
+func NewTree() *Tree {
+	return &Tree{files: make(map[string]*entry)}
+}
+
+// Put stores data at path (replacing any existing file).
+func (t *Tree) Put(path string, data []byte) {
+	t.files[Clean(path)] = &entry{data: data}
+}
+
+// Get returns the payload at path.
+func (t *Tree) Get(path string) ([]byte, bool) {
+	e, ok := t.files[Clean(path)]
+	if !ok {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// Size returns the stored size at path.
+func (t *Tree) Size(path string) (int64, bool) {
+	e, ok := t.files[Clean(path)]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(e.data)), true
+}
+
+// Remove deletes path, reporting whether it existed.
+func (t *Tree) Remove(path string) bool {
+	p := Clean(path)
+	_, ok := t.files[p]
+	delete(t.files, p)
+	return ok
+}
+
+// Len returns the number of stored files.
+func (t *Tree) Len() int { return len(t.files) }
+
+// List returns all paths with the given prefix, sorted.
+func (t *Tree) List(prefix string) []string {
+	prefix = Clean(prefix)
+	var out []string
+	for p := range t.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the sum of stored file sizes.
+func (t *Tree) TotalBytes() int64 {
+	var n int64
+	for _, e := range t.files {
+		n += int64(len(e.data))
+	}
+	return n
+}
+
+// PathError decorates an error with the operation and path, in the style
+// of os.PathError.
+func PathError(op, path string, err error) error {
+	return fmt.Errorf("%s %s: %w", op, path, err)
+}

@@ -1,0 +1,100 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPaths(t *testing.T) {
+	cases := map[string]string{
+		"a/b":        "/a/b",
+		"/a/b":       "/a/b",
+		"//a///b/":   "/a/b",
+		"./a/./b":    "/a/b",
+		"":           "/",
+		"/":          "/",
+		"a":          "/a",
+		"/dyad/f.pb": "/dyad/f.pb",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTreePutGetRemove(t *testing.T) {
+	tr := NewTree()
+	if _, ok := tr.Get("/x"); ok {
+		t.Fatal("empty tree should miss")
+	}
+	tr.Put("/a/b", []byte("hello"))
+	got, ok := tr.Get("a/b") // equivalent path spelling
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if sz, ok := tr.Size("/a/b"); !ok || sz != 5 {
+		t.Fatalf("Size = %d, %v", sz, ok)
+	}
+	tr.Put("/a/b", []byte("replaced"))
+	got, _ = tr.Get("/a/b")
+	if string(got) != "replaced" {
+		t.Fatalf("replace failed: %q", got)
+	}
+	if !tr.Remove("/a/b") {
+		t.Fatal("remove existing returned false")
+	}
+	if tr.Remove("/a/b") {
+		t.Fatal("remove missing returned true")
+	}
+}
+
+func TestTreeListAndTotals(t *testing.T) {
+	tr := NewTree()
+	tr.Put("/d/1", make([]byte, 10))
+	tr.Put("/d/2", make([]byte, 20))
+	tr.Put("/e/3", make([]byte, 30))
+	got := tr.List("/d")
+	if len(got) != 2 || got[0] != "/d/1" || got[1] != "/d/2" {
+		t.Fatalf("List(/d) = %v", got)
+	}
+	if tr.TotalBytes() != 60 {
+		t.Fatalf("TotalBytes = %d", tr.TotalBytes())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// Property: whatever bytes are Put are Get back unchanged, and Size agrees.
+func TestTreeRoundTripProperty(t *testing.T) {
+	f := func(path string, data []byte) bool {
+		tr := NewTree()
+		tr.Put(path, data)
+		got, ok := tr.Get(path)
+		if !ok || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		sz, ok := tr.Size(path)
+		return ok && sz == int64(len(data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clean is idempotent.
+func TestCleanIdempotentProperty(t *testing.T) {
+	f := func(p string) bool {
+		c := Clean(p)
+		return Clean(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package wfm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/sim"
+	"repro/internal/xfs"
+)
+
+// The workflow harness implements the traditional backends' coarse
+// coupling with per-pair notify gates. This test validates that coupling
+// against the "ground truth" it models: an actual workflow-manager DAG
+// chain sim_0 -> analysis_0 -> sim_1 -> ... over the same storage. The
+// serialized makespans must agree closely.
+func TestCoarseCouplingMatchesDAGChain(t *testing.T) {
+	model := models.Model{Name: "TINY", Atoms: 2_000, StepsPerSecond: 10_000, Stride: 50}
+	const frames = 24
+	freq := model.DefaultFrequency()
+	payload := make([]byte, model.FrameBytes())
+
+	// Ground truth: an explicit DAG chain on one node with XFS.
+	e := sim.NewEngine(1)
+	cl := cluster.New(e, cluster.CoronaProfile(1))
+	fs := xfs.New(cl.Node(0), xfs.DefaultParams())
+	m := New(e, Params{SubmitLatency: 50 * time.Microsecond})
+	var prev *Task
+	for f := 0; f < frames; f++ {
+		path := fmt.Sprintf("/chain/f%d", f)
+		deps := []*Task{}
+		if prev != nil {
+			deps = append(deps, prev)
+		}
+		simTask := m.Task(fmt.Sprintf("sim%d", f), func(p *sim.Proc) {
+			p.Sleep(freq) // MD compute
+			if err := fs.WriteFile(p, path, payload); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}, deps...)
+		prev = m.Task(fmt.Sprintf("an%d", f), func(p *sim.Proc) {
+			if _, err := fs.ReadFile(p, path); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			p.Sleep(freq) // analytics
+		}, simTask)
+	}
+	if _, err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dagMakespan := e.Now()
+
+	// Harness: same workload through the gate-based coarse coupling.
+	res, err := core.Run(core.Config{
+		Backend: core.XFS, Model: model, Pairs: 1, Frames: frames,
+		SingleNode: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := res.Makespan.Seconds() / dagMakespan.Seconds()
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("harness makespan %v vs DAG-chain makespan %v (ratio %.3f, want ~1)",
+			res.Makespan, dagMakespan, ratio)
+	}
+
+	// Both must be essentially fully serialized: ~frames * 2 * freq.
+	serialized := time.Duration(frames) * 2 * freq
+	if dagMakespan < serialized {
+		t.Fatalf("DAG makespan %v below the serialized floor %v", dagMakespan, serialized)
+	}
+}

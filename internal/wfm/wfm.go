@@ -1,0 +1,171 @@
+// Package wfm is a workflow manager substrate: a DAG task scheduler over
+// the simulation kernel, in the style of the batch workflow systems
+// (Pegasus and kin) the paper's §III cites as the way traditional
+// MD workflows chain producer and consumer tasks. Tasks declare
+// dependencies; the manager launches each task (after a scheduling
+// latency) once all of its dependencies complete.
+//
+// The coarse-grained, serialized producer/consumer coupling that the
+// study measures for XFS and Lustre is exactly a chain in this model:
+// sim_k -> analysis_k -> sim_(k+1) -> ... The wfm tests validate that the
+// chain's timing matches the workflow harness's gate-based implementation.
+package wfm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Params configures scheduler behaviour.
+type Params struct {
+	// SubmitLatency is the delay between a task becoming eligible and its
+	// process starting (scheduler dispatch, job launch).
+	SubmitLatency time.Duration
+}
+
+// DefaultParams returns a fast in-situ scheduler profile (milliseconds,
+// not the minutes of a real batch queue, so workflows stay comparable to
+// the paper's tightly looped harness).
+func DefaultParams() Params {
+	return Params{SubmitLatency: 200 * time.Microsecond}
+}
+
+// Task is one node of the workflow DAG.
+type Task struct {
+	Name string
+
+	run  func(p *sim.Proc)
+	deps []*Task
+	done sim.Latch
+
+	// Scheduling metadata, filled as the workflow runs.
+	EligibleAt time.Duration
+	StartedAt  time.Duration
+	FinishedAt time.Duration
+	started    bool
+}
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.done.Fired() }
+
+// Await blocks the calling process until the task completes. It lets
+// simulated processes outside the DAG synchronize with workflow progress.
+func (t *Task) Await(p *sim.Proc) { t.done.Wait(p) }
+
+// Manager owns a DAG and schedules it.
+type Manager struct {
+	e      *sim.Engine
+	params Params
+	tasks  []*Task
+
+	Launched int
+}
+
+// New creates an empty workflow on the engine.
+func New(e *sim.Engine, params Params) *Manager {
+	return &Manager{e: e, params: params}
+}
+
+// Task adds a task running fn after all deps complete.
+func (m *Manager) Task(name string, fn func(p *sim.Proc), deps ...*Task) *Task {
+	t := &Task{Name: name, run: fn, deps: deps}
+	m.tasks = append(m.tasks, t)
+	return t
+}
+
+// Chain adds a linear sequence of tasks, each depending on the previous
+// one (and on extra head dependencies for the first). It returns the
+// tasks in order.
+func (m *Manager) Chain(prefix string, n int, fn func(i int, p *sim.Proc), headDeps ...*Task) []*Task {
+	var out []*Task
+	prev := headDeps
+	for i := 0; i < n; i++ {
+		i := i
+		t := m.Task(fmt.Sprintf("%s%d", prefix, i), func(p *sim.Proc) { fn(i, p) }, prev...)
+		out = append(out, t)
+		prev = []*Task{t}
+	}
+	return out
+}
+
+// Validate checks the DAG for cycles and foreign dependencies.
+func (m *Manager) Validate() error {
+	index := make(map[*Task]int, len(m.tasks))
+	for i, t := range m.tasks {
+		index[t] = i
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(m.tasks))
+	var visit func(t *Task) error
+	visit = func(t *Task) error {
+		i, ok := index[t]
+		if !ok {
+			return fmt.Errorf("wfm: task %q depends on a task from another workflow", t.Name)
+		}
+		switch color[i] {
+		case gray:
+			return fmt.Errorf("wfm: dependency cycle through %q", t.Name)
+		case black:
+			return nil
+		}
+		color[i] = gray
+		for _, d := range t.deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for _, t := range m.tasks {
+		if err := visit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start validates the DAG and arms the scheduler: every task launches
+// (as its own simulated process) SubmitLatency after its dependencies
+// complete. Call before Engine.Run; returns the terminal "all done" latch.
+func (m *Manager) Start() (*sim.Latch, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	all := &sim.Latch{}
+	remaining := len(m.tasks)
+	if remaining == 0 {
+		all.Fire()
+		return all, nil
+	}
+	for _, t := range m.tasks {
+		t := t
+		m.e.Spawn("wfm/"+t.Name, func(p *sim.Proc) {
+			for _, d := range t.deps {
+				d.done.Wait(p)
+			}
+			t.EligibleAt = p.Now()
+			p.Sleep(m.params.SubmitLatency)
+			t.StartedAt = p.Now()
+			t.started = true
+			m.Launched++
+			t.run(p)
+			t.FinishedAt = p.Now()
+			t.done.Fire()
+			remaining--
+			if remaining == 0 {
+				all.Fire()
+			}
+		})
+	}
+	return all, nil
+}
+
+// Tasks returns the workflow's tasks in creation order.
+func (m *Manager) Tasks() []*Task { return m.tasks }

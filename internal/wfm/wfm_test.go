@@ -1,0 +1,136 @@
+package wfm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func run(t *testing.T, build func(m *Manager)) (*sim.Engine, *Manager) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	m := New(e, Params{SubmitLatency: time.Millisecond})
+	build(m)
+	if _, err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+func TestLinearChainSerializes(t *testing.T) {
+	var order []string
+	_, m := run(t, func(m *Manager) {
+		a := m.Task("a", func(p *sim.Proc) {
+			p.Sleep(10 * time.Millisecond)
+			order = append(order, "a")
+		})
+		b := m.Task("b", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond)
+			order = append(order, "b")
+		}, a)
+		m.Task("c", func(p *sim.Proc) {
+			order = append(order, "c")
+		}, b)
+	})
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order %v", order)
+	}
+	tasks := m.Tasks()
+	// b started after a finished plus submit latency.
+	if tasks[1].StartedAt != tasks[0].FinishedAt+time.Millisecond {
+		t.Fatalf("b started %v, a finished %v", tasks[1].StartedAt, tasks[0].FinishedAt)
+	}
+}
+
+func TestIndependentTasksOverlap(t *testing.T) {
+	e, _ := run(t, func(m *Manager) {
+		for i := 0; i < 4; i++ {
+			m.Task("t", func(p *sim.Proc) { p.Sleep(10 * time.Millisecond) })
+		}
+	})
+	if e.Now() > 12*time.Millisecond {
+		t.Fatalf("independent tasks serialized: end %v", e.Now())
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	var endA, endB, startD sim.Time
+	_, _ = run(t, func(m *Manager) {
+		root := m.Task("root", func(p *sim.Proc) { p.Sleep(time.Millisecond) })
+		a := m.Task("a", func(p *sim.Proc) { p.Sleep(5 * time.Millisecond); endA = p.Now() }, root)
+		b := m.Task("b", func(p *sim.Proc) { p.Sleep(9 * time.Millisecond); endB = p.Now() }, root)
+		m.Task("d", func(p *sim.Proc) { startD = p.Now() }, a, b)
+	})
+	if startD < endA || startD < endB {
+		t.Fatalf("join started at %v before branches ended (%v, %v)", startD, endA, endB)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(e, DefaultParams())
+	a := m.Task("a", func(p *sim.Proc) {})
+	b := m.Task("b", func(p *sim.Proc) {}, a)
+	a.deps = append(a.deps, b) // forge a cycle
+	if _, err := m.Start(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestForeignDependencyRejected(t *testing.T) {
+	e := sim.NewEngine(1)
+	other := New(e, DefaultParams())
+	foreign := other.Task("x", func(p *sim.Proc) {})
+	m := New(e, DefaultParams())
+	m.Task("a", func(p *sim.Proc) {}, foreign)
+	if _, err := m.Start(); err == nil {
+		t.Fatal("foreign dependency not detected")
+	}
+}
+
+func TestChainHelperAndAwait(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(e, Params{SubmitLatency: 0})
+	ticks := 0
+	chain := m.Chain("step", 5, func(i int, p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		ticks++
+	})
+	var awaitedAt sim.Time
+	e.Spawn("observer", func(p *sim.Proc) {
+		chain[len(chain)-1].Await(p)
+		awaitedAt = p.Now()
+	})
+	done, err := m.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 || !done.Fired() {
+		t.Fatalf("chain ran %d/5 tasks, done=%v", ticks, done.Fired())
+	}
+	if awaitedAt != 5*time.Millisecond {
+		t.Fatalf("observer resumed at %v, want 5ms", awaitedAt)
+	}
+}
+
+func TestEmptyWorkflowCompletesImmediately(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := New(e, DefaultParams())
+	done, err := m.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Fired() {
+		t.Fatal("empty workflow should fire immediately")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

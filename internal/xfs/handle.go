@@ -1,0 +1,103 @@
+package xfs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// handle is a byte-range view of one XFS file.
+type handle struct {
+	fs     *FS
+	path   string
+	closed bool
+}
+
+// Open implements vfs.HandleFS.
+func (f *FS) Open(p *sim.Proc, path string) (vfs.Handle, error) {
+	p.Sleep(f.params.MetaLatency)
+	path = vfs.Clean(path)
+	if _, ok := f.tree.Get(path); !ok {
+		return nil, vfs.PathError("open", path, vfs.ErrNotExist)
+	}
+	return &handle{fs: f, path: path}, nil
+}
+
+// CreateFile implements vfs.HandleFS: creates/truncates path.
+func (f *FS) CreateFile(p *sim.Proc, path string) (vfs.Handle, error) {
+	p.Sleep(f.params.MetaLatency)
+	f.node.SSD.Write(p, f.params.JournalBytes) // inode create/truncate journal
+	path = vfs.Clean(path)
+	f.tree.Put(path, nil)
+	return &handle{fs: f, path: path}, nil
+}
+
+func (h *handle) Path() string { return h.path }
+
+func (h *handle) Size() int64 {
+	sz, _ := h.fs.tree.Size(h.path)
+	return sz
+}
+
+func (h *handle) check(p *sim.Proc) error {
+	if h.closed {
+		return fmt.Errorf("xfs: %s: handle closed", h.path)
+	}
+	p.Sleep(h.fs.params.MetaLatency)
+	return nil
+}
+
+// ReadAt charges the device for the range only.
+func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
+	if err := h.check(p); err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("xfs: %s: negative range (%d, %d)", h.path, off, n)
+	}
+	data, ok := h.fs.tree.Get(h.path)
+	if !ok {
+		return nil, vfs.PathError("read", h.path, vfs.ErrNotExist)
+	}
+	if off+n > int64(len(data)) {
+		return nil, fmt.Errorf("xfs: %s: read [%d,%d) past EOF %d", h.path, off, off+n, len(data))
+	}
+	h.fs.node.SSD.Read(p, n)
+	return data[off : off+n], nil
+}
+
+// WriteAt charges the device for the range plus a journal commit.
+func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
+	if err := h.check(p); err != nil {
+		return err
+	}
+	cur, ok := h.fs.tree.Get(h.path)
+	if !ok {
+		return vfs.PathError("write", h.path, vfs.ErrNotExist)
+	}
+	if off < 0 || off > int64(len(cur)) {
+		return fmt.Errorf("xfs: %s: write at %d would leave a hole (size %d)", h.path, off, len(cur))
+	}
+	h.fs.node.SSD.Write(p, h.fs.params.JournalBytes)
+	h.fs.node.SSD.Write(p, int64(len(data)))
+	h.fs.tree.Put(h.path, vfs.SpliceRange(cur, off, data))
+	return nil
+}
+
+// Append adds data at EOF.
+func (h *handle) Append(p *sim.Proc, data []byte) error {
+	return h.WriteAt(p, h.Size(), data)
+}
+
+// Close releases the handle (metadata cost only).
+func (h *handle) Close(p *sim.Proc) error {
+	if h.closed {
+		return fmt.Errorf("xfs: %s: double close", h.path)
+	}
+	p.Sleep(h.fs.params.MetaLatency)
+	h.closed = true
+	return nil
+}
+
+var _ vfs.HandleFS = (*FS)(nil)

@@ -1,0 +1,147 @@
+package xfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestHandleRangeIO(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := newTestFS(e)
+	e.Spawn("io", func(p *sim.Proc) {
+		h, err := f.CreateFile(p, "/h")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := h.Append(p, []byte("hello ")); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		if err := h.Append(p, []byte("world")); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		if h.Size() != 11 {
+			t.Errorf("size %d", h.Size())
+		}
+		got, err := h.ReadAt(p, 6, 5)
+		if err != nil || string(got) != "world" {
+			t.Errorf("ReadAt = %q, %v", got, err)
+		}
+		if err := h.WriteAt(p, 0, []byte("HELLO")); err != nil {
+			t.Errorf("WriteAt: %v", err)
+		}
+		got, _ = h.ReadAt(p, 0, 11)
+		if string(got) != "HELLO world" {
+			t.Errorf("after WriteAt: %q", got)
+		}
+		if err := h.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := h.Close(p); err == nil {
+			t.Error("double close accepted")
+		}
+		if _, err := h.ReadAt(p, 0, 1); err == nil {
+			t.Error("read after close accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := newTestFS(e)
+	e.Spawn("io", func(p *sim.Proc) {
+		if _, err := f.Open(p, "/missing"); err == nil {
+			t.Error("open missing accepted")
+		}
+		h, _ := f.CreateFile(p, "/h")
+		_ = h.Append(p, []byte("abc"))
+		if _, err := h.ReadAt(p, 2, 5); err == nil {
+			t.Error("read past EOF accepted")
+		}
+		if err := h.WriteAt(p, 10, []byte("x")); err == nil {
+			t.Error("hole-creating write accepted")
+		}
+		if _, err := h.ReadAt(p, -1, 1); err == nil {
+			t.Error("negative offset accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleVisibleToWholeFileAPI(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := newTestFS(e)
+	e.Spawn("io", func(p *sim.Proc) {
+		h, _ := f.CreateFile(p, "/mixed")
+		_ = h.Append(p, []byte("via-handle"))
+		_ = h.Close(p)
+		got, err := f.ReadFile(p, "/mixed")
+		if err != nil || string(got) != "via-handle" {
+			t.Errorf("whole-file read = %q, %v", got, err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sequence of random appends then ReadAt(0, size) equals the
+// concatenation.
+func TestHandleAppendProperty(t *testing.T) {
+	fn := func(blobs [][]byte) bool {
+		e := sim.NewEngine(1)
+		f := newTestFS(e)
+		ok := true
+		e.Spawn("io", func(p *sim.Proc) {
+			h, err := f.CreateFile(p, "/prop")
+			if err != nil {
+				ok = false
+				return
+			}
+			var want []byte
+			for _, b := range blobs {
+				if err := h.Append(p, b); err != nil {
+					ok = false
+					return
+				}
+				want = append(want, b...)
+			}
+			got, err := h.ReadAt(p, 0, int64(len(want)))
+			ok = err == nil && bytes.Equal(got, want)
+		})
+		return e.Run() == nil && ok
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceRange(t *testing.T) {
+	got := vfs.SpliceRange([]byte("abcdef"), 2, []byte("XY"))
+	if string(got) != "abXYef" {
+		t.Fatalf("splice mid = %q", got)
+	}
+	got = vfs.SpliceRange([]byte("abc"), 3, []byte("def"))
+	if string(got) != "abcdef" {
+		t.Fatalf("splice extend = %q", got)
+	}
+	got = vfs.SpliceRange(nil, 0, []byte("x"))
+	if string(got) != "x" {
+		t.Fatalf("splice empty = %q", got)
+	}
+	// Original must be untouched (copy-on-write).
+	orig := []byte("abcdef")
+	_ = vfs.SpliceRange(orig, 0, []byte("ZZZZZZ"))
+	if string(orig) != "abcdef" {
+		t.Fatal("SpliceRange mutated its input")
+	}
+}

@@ -1,0 +1,97 @@
+// Package xfs models a node-local journaled filesystem (XFS in the paper)
+// over a node's NVMe SSD. It is the fastest local storage option in the
+// study: every byte goes to the local device, writes additionally pay a
+// journal commit, and there is no way to reach another node's files —
+// which is exactly why the paper's XFS configuration is restricted to
+// single-node workflows.
+package xfs
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Params is the XFS cost model.
+type Params struct {
+	// JournalBytes is charged to the device per metadata-mutating
+	// operation (create, unlink), modelling the log write.
+	JournalBytes int64
+	// MetaLatency is the in-memory bookkeeping cost per operation.
+	MetaLatency time.Duration
+}
+
+// DefaultParams returns a realistic cost model for XFS on NVMe.
+func DefaultParams() Params {
+	return Params{
+		JournalBytes: 4096,
+		MetaLatency:  2 * time.Microsecond,
+	}
+}
+
+// FS is one node-local XFS instance. It satisfies vfs.FS. Processes on
+// other nodes must not use it (the real filesystem is simply not visible
+// there); reaching across is a programming error the workflow layer guards.
+type FS struct {
+	node   *cluster.Node
+	params Params
+	tree   *vfs.Tree
+}
+
+// New mounts an XFS instance on the given node's SSD.
+func New(node *cluster.Node, params Params) *FS {
+	return &FS{node: node, params: params, tree: vfs.NewTree()}
+}
+
+// Name implements vfs.FS.
+func (f *FS) Name() string { return "xfs" }
+
+// Node returns the node the filesystem is local to.
+func (f *FS) Node() *cluster.Node { return f.node }
+
+// Tree exposes the file table (for invariant checks in tests).
+func (f *FS) Tree() *vfs.Tree { return f.tree }
+
+// WriteFile implements vfs.FS: journal commit + data write on the local SSD.
+func (f *FS) WriteFile(p *sim.Proc, path string, data []byte) error {
+	p.Sleep(f.params.MetaLatency)
+	f.node.SSD.Write(p, f.params.JournalBytes)
+	f.node.SSD.Write(p, int64(len(data)))
+	f.tree.Put(path, data)
+	return nil
+}
+
+// ReadFile implements vfs.FS: data read from the local SSD.
+func (f *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	p.Sleep(f.params.MetaLatency)
+	data, ok := f.tree.Get(path)
+	if !ok {
+		return nil, vfs.PathError("read", path, vfs.ErrNotExist)
+	}
+	f.node.SSD.Read(p, int64(len(data)))
+	return data, nil
+}
+
+// Stat implements vfs.FS: metadata only, no data transfer.
+func (f *FS) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	p.Sleep(f.params.MetaLatency)
+	sz, ok := f.tree.Size(path)
+	if !ok {
+		return vfs.FileInfo{}, vfs.PathError("stat", path, vfs.ErrNotExist)
+	}
+	return vfs.FileInfo{Path: vfs.Clean(path), Size: sz}, nil
+}
+
+// Unlink implements vfs.FS: journal commit, entry removal.
+func (f *FS) Unlink(p *sim.Proc, path string) error {
+	p.Sleep(f.params.MetaLatency)
+	f.node.SSD.Write(p, f.params.JournalBytes)
+	if !f.tree.Remove(path) {
+		return vfs.PathError("unlink", path, vfs.ErrNotExist)
+	}
+	return nil
+}
+
+var _ vfs.FS = (*FS)(nil)

@@ -1,0 +1,101 @@
+// Package repro is the public API of this reproduction of "Empirical Study
+// of Molecular Dynamics Workflow Data Movement: DYAD vs. Traditional I/O
+// Systems" (IPPS 2024).
+//
+// It exposes three layers:
+//
+//   - Workflow runs: configure and execute one MD-inspired
+//     producer/consumer workflow over a simulated HPC cluster with the
+//     DYAD, XFS, or Lustre data-management backend, and obtain the paper's
+//     time decomposition (data movement vs idle) for producers and
+//     consumers. See Run, Repeat, and Aggregated.
+//
+//   - Paper experiments: regenerate any table or figure of the paper's
+//     evaluation with Experiments / RunExperiment.
+//
+//   - Workload building blocks: the Table I/II molecular model registry
+//     (Models, ModelByName) and the frame wire format, for composing
+//     custom studies.
+//
+// The runnable programs in cmd/ and examples/ are thin wrappers over this
+// package.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/models"
+)
+
+// Backend selects the data management solution of a workflow run.
+type Backend = core.Backend
+
+// The three data management solutions of the study.
+const (
+	DYAD   = core.DYAD
+	XFS    = core.XFS
+	Lustre = core.Lustre
+)
+
+// ParseBackend parses "DYAD", "XFS", or "Lustre".
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// Config describes one workflow run; see core.Config for field semantics.
+type Config = core.Config
+
+// Result is the measurement of one workflow run.
+type Result = core.Result
+
+// Totals is a movement/idle time decomposition.
+type Totals = core.Totals
+
+// Aggregate summarizes repeated runs.
+type Aggregate = core.Aggregate
+
+// Model describes a molecular model (Table I).
+type Model = models.Model
+
+// Run executes one workflow run.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Repeat runs cfg reps times with distinct seeds.
+func Repeat(cfg Config, reps int) ([]*Result, error) { return core.Repeat(cfg, reps) }
+
+// Aggregated summarizes repeated results of one configuration.
+func Aggregated(results []*Result) Aggregate { return core.Aggregated(results) }
+
+// Models returns the paper's molecular model registry (Table I order).
+func Models() []Model { return models.Registry() }
+
+// ModelByName looks up a model ("JAC", "ApoA1", "F1 ATPase", "STMV").
+func ModelByName(name string) (Model, error) { return models.ByName(name) }
+
+// CustomModel builds a user-defined molecular model. A zero stride derives
+// one matching the paper's ~0.82 s frame-generation frequency.
+func CustomModel(name string, atoms int, stepsPerSecond float64, stride int) (Model, error) {
+	return models.Custom(name, atoms, stepsPerSecond, stride)
+}
+
+// ExperimentOptions tune paper-experiment execution.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is a rendered experiment.
+type ExperimentReport = experiments.Report
+
+// Experiments lists the reproducible paper artifacts in paper order.
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper table or figure by id ("table1",
+// "table2", "fig5" ... "fig12").
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentReport, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o)
+}
+
+// RenderReport writes a report as an aligned text table.
+func RenderReport(w io.Writer, r *ExperimentReport) { r.Render(w) }

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeRunAndAggregate(t *testing.T) {
+	jac, err := ModelByName("JAC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Repeat(Config{Backend: DYAD, Model: jac, Pairs: 2, Frames: 8, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregated(results)
+	if agg.Reps != 2 || agg.ConsTotalMean() <= 0 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if len(Models()) != 4 {
+		t.Fatalf("models %d", len(Models()))
+	}
+	if _, err := ModelByName("STMV"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBackend("Lustre"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	rep, err := RunExperiment("table1", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderReport(&buf, rep)
+	if !strings.Contains(buf.String(), "JAC") {
+		t.Fatal("rendered table1 missing JAC")
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
