@@ -2,11 +2,15 @@
 //
 // Examples:
 //
+// Flags come before experiment ids (standard library flag parsing stops at
+// the first positional argument):
+//
 //	experiments -list
 //	experiments table1 table2
-//	experiments fig5 -reps 10 -frames 128
-//	experiments all -quick
-//	experiments fig9 -json
+//	experiments -reps 10 -frames 128 fig5
+//	experiments -quick all
+//	experiments -quick -j 8 all
+//	experiments -json fig9
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro"
 )
@@ -25,9 +31,11 @@ func main() {
 		frames  = flag.Int("frames", 0, "frames per pair (0 = paper default of 128)")
 		seed    = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 		quick   = flag.Bool("quick", false, "reduced sweep for smoke runs")
+		workers = flag.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
 		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		asCSV   = flag.Bool("csv", false, "emit report tables as CSV (for plotting)")
 		outPath = flag.String("o", "", "write output to file instead of stdout")
+		quiet   = flag.Bool("q", false, "suppress per-experiment progress on stderr")
 	)
 	flag.Parse()
 
@@ -63,12 +71,27 @@ func main() {
 		out = f
 	}
 
-	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick}
+	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
 	var reports []*repro.ExperimentReport
-	for _, id := range ids {
+	for i, id := range ids {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (workers=%d) ...", i+1, len(ids), id, effWorkers)
+		}
+		expStart := time.Now()
 		rep, err := repro.RunExperiment(id, opts)
 		if err != nil {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr)
+			}
 			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, " done in %.2fs\n", time.Since(expStart).Seconds())
 		}
 		switch {
 		case *asJSON:
@@ -90,6 +113,9 @@ func main() {
 		if err := enc.Encode(reports); err != nil {
 			fatal(err)
 		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) in %.2fs\n", len(ids), time.Since(start).Seconds())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/caliper"
@@ -31,6 +32,7 @@ func main() {
 		stride      = flag.Int("stride", 0, "output stride in MD steps (0 = model default)")
 		singleNode  = flag.Bool("single-node", false, "collocate producers and consumers on one node")
 		reps        = flag.Int("reps", 1, "repetitions (distinct seeds)")
+		workers     = flag.Int("j", 0, "parallel workers for repetitions (0 = one per core); results are identical for any -j")
 		seed        = flag.Uint64("seed", 1, "base RNG seed")
 		jitter      = flag.Float64("jitter", 0.004, "relative std of per-frame MD compute time")
 		noise       = flag.Bool("lustre-noise", true, "background interference on Lustre OSTs")
@@ -83,10 +85,12 @@ func main() {
 	fmt.Printf("frame size: %d bytes, frequency: %v, nodes: %d\n",
 		model.FrameBytes(), cfg.Frequency(), cfg.ComputeNodes())
 
-	results, err := repro.Repeat(cfg, *reps)
+	start := time.Now()
+	results, err := repro.RepeatWorkers(cfg, *reps, *workers)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("ran %d repetition(s) in %.2fs\n", *reps, time.Since(start).Seconds())
 	agg := repro.Aggregated(results)
 	fmt.Printf("\n%-24s %-14s %-14s\n", "", "mean", "std")
 	printLine := func(name string, s stats.Summary) {

@@ -6,6 +6,11 @@
 //
 // Annotators are clock-agnostic: the simulation passes the process's
 // virtual clock, real-time pipelines pass a wall clock.
+//
+// Instrumentation can always run unconditionally: a nil *Annotator and the
+// zero-value Annotator are both inert — Begin/End/Region no-op and Profile
+// returns an empty profile — so code paths that sometimes run without
+// instrumentation never need nil checks.
 package caliper
 
 import (
@@ -22,8 +27,10 @@ import (
 type Clock func() time.Duration
 
 // Annotator records one process's region activity. The zero value and the
-// nil pointer are inert: every method is safe and free on them, so
-// instrumented code never needs nil checks.
+// nil pointer are inert: every method is safe and free on them (Begin, End,
+// and Region are no-ops, and Profile returns an empty profile), so
+// instrumented code never needs nil checks. Only annotators created with
+// New record anything; an inert annotator never starts recording.
 type Annotator struct {
 	proc  string
 	clock Clock
@@ -49,8 +56,8 @@ func New(proc string, clock Clock) *Annotator {
 // Begin opens a region. Regions nest: Begin("a"); Begin("b") attributes
 // b's time inside a.
 func (a *Annotator) Begin(name string) {
-	if a == nil {
-		return
+	if a == nil || a.root == nil {
+		return // nil or zero-value annotator: inert by contract
 	}
 	parent := a.root
 	if len(a.stack) > 0 {
@@ -65,8 +72,8 @@ func (a *Annotator) Begin(name string) {
 // End closes the innermost region, which must be name (mismatches panic:
 // they are instrumentation bugs).
 func (a *Annotator) End(name string) {
-	if a == nil {
-		return
+	if a == nil || a.root == nil {
+		return // inert annotators opened no region, so there is none to close
 	}
 	if len(a.stack) == 0 {
 		panic(fmt.Sprintf("caliper: End(%q) with no open region", name))
@@ -89,7 +96,7 @@ func (a *Annotator) Region(name string) func() {
 // Profile snapshots the annotator into an immutable profile. Open regions
 // are a bug and panic.
 func (a *Annotator) Profile() *Profile {
-	if a == nil {
+	if a == nil || a.root == nil {
 		return &Profile{Proc: "", Root: &Node{}}
 	}
 	if len(a.stack) != 0 {

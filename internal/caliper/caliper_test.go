@@ -191,3 +191,24 @@ func TestWalkPaths(t *testing.T) {
 		t.Fatalf("paths %v", paths)
 	}
 }
+
+// Regression: the package contract promises the zero value is as inert as
+// the nil pointer. (&Annotator{}).Begin used to nil-deref on the nil root.
+func TestZeroValueAnnotatorInert(t *testing.T) {
+	var a Annotator
+	a.Begin("x")
+	a.End("x")
+	a.End("unopened") // inert: no open-region bookkeeping to violate
+	done := a.Region("y")
+	done()
+	p := a.Profile()
+	if p == nil || p.Root == nil {
+		t.Fatal("zero-value annotator must still produce an empty profile")
+	}
+	if len(p.Root.Children) != 0 {
+		t.Fatalf("zero-value annotator recorded regions: %+v", p.Root.Children)
+	}
+	if got := p.TotalOf("x"); got != 0 {
+		t.Fatalf("zero-value annotator accumulated time: %v", got)
+	}
+}

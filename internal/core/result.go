@@ -132,21 +132,11 @@ func SplitConsumer(b Backend, prof *caliper.Profile) Totals {
 }
 
 // Repeat runs cfg reps times with distinct seeds and returns all results.
+// Repetitions execute in parallel across DefaultWorkers goroutines (the
+// results are deterministic regardless; see RunMany). Use RepeatWorkers to
+// control the worker count.
 func Repeat(cfg Config, reps int) ([]*Result, error) {
-	if reps < 1 {
-		return nil, fmt.Errorf("core: reps %d < 1", reps)
-	}
-	out := make([]*Result, 0, reps)
-	for i := 0; i < reps; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)*0x9e3779b9
-		res, err := Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("core: rep %d: %w", i, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return RepeatWorkers(cfg, reps, 0)
 }
 
 // Aggregate summarizes repeated runs of one configuration.

@@ -29,6 +29,10 @@ type Options struct {
 	// Quick shrinks the sweep (fewer frames, reps, and smaller maximum
 	// ensembles) for benchmarks and smoke tests.
 	Quick bool
+	// Workers is the number of goroutines runs fan across (<= 0 means one
+	// per available core). Results are identical for any worker count; only
+	// wall-clock time changes.
+	Workers int
 }
 
 // Defaults fills unset options with paper-faithful values.
@@ -122,7 +126,13 @@ func (r *Report) Render(w io.Writer) {
 	}
 	writeRow := func(cells []string) {
 		for i, c := range cells {
-			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+			// Rows wider than Columns have no computed width; render the
+			// extra cells at their natural width instead of panicking.
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(w, "%-*s", width+2, c)
 		}
 		fmt.Fprintln(w)
 	}
@@ -173,7 +183,7 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 	if cfg.Backend == core.Lustre {
 		cfg.LustreNoise = true
 	}
-	results, err := core.Repeat(cfg, o.Reps)
+	results, err := core.RepeatWorkers(cfg, o.Reps, o.Workers)
 	if err != nil {
 		return core.Aggregate{}, err
 	}

@@ -168,3 +168,38 @@ func TestAblationReportShape(t *testing.T) {
 		t.Fatalf("ablation rows %d, want 7", len(rep.Rows))
 	}
 }
+
+// Regression: a row wider than Columns used to panic in Render's writeRow
+// (the width computation guarded the index, the writer did not). Ragged
+// reports must render and serialize, not crash.
+func TestReportRaggedRowRenders(t *testing.T) {
+	rep := &Report{
+		ID:      "ragged",
+		Title:   "ragged rows",
+		Columns: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2"},
+			{"1", "2", "extra"}, // wider than Columns
+			{"only"},            // narrower than Columns
+		},
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"extra", "only"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render output missing cell %q:\n%s", want, buf.String())
+		}
+	}
+
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV on ragged report: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("csv lines %d, want 4:\n%s", len(lines), csvBuf.String())
+	}
+	if lines[2] != "1,2,extra" {
+		t.Errorf("csv ragged row %q, want %q", lines[2], "1,2,extra")
+	}
+}

@@ -78,7 +78,7 @@ func consumerEnsemble(b core.Backend, model models.Model, o Options) (*thicket.E
 	if reps > 3 {
 		reps = 3 // trees are stable; keep profile memory bounded
 	}
-	results, err := core.Repeat(cfg, reps)
+	results, err := core.RepeatWorkers(cfg, reps, o.Workers)
 	if err != nil {
 		return nil, err
 	}

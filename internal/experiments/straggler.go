@@ -29,7 +29,9 @@ func Straggler(o Options) (*Report, error) {
 		b        core.Backend
 		injected bool
 	}
-	results := map[key][2]float64{} // mean, worst (seconds)
+	// All four runs are independent: batch them through the worker pool.
+	var keys []key
+	var cfgs []core.Config
 	for _, b := range []core.Backend{core.DYAD, core.Lustre} {
 		for _, injected := range []bool{false, true} {
 			cfg := core.Config{
@@ -43,26 +45,32 @@ func Straggler(o Options) (*Report, error) {
 			if injected {
 				cfg.StragglerFactor = factor
 			}
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			var sum, worst float64
-			for _, prof := range res.ConsumerProfiles {
-				t := core.SplitConsumer(b, prof).Sum().Seconds()
-				sum += t
-				if t > worst {
-					worst = t
-				}
-			}
-			mean := sum / float64(pairs)
-			results[key{b, injected}] = [2]float64{mean, worst}
-			r.Rows = append(r.Rows, []string{
-				b.String(), fmt.Sprintf("%v", injected),
-				stats.FormatSeconds(mean), stats.FormatSeconds(worst),
-				stats.FormatRatio(worst / mean),
-			})
+			keys = append(keys, key{b, injected})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	runs, err := core.RunMany(cfgs, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	results := map[key][2]float64{} // mean, worst (seconds)
+	for i, res := range runs {
+		k := keys[i]
+		var sum, worst float64
+		for _, prof := range res.ConsumerProfiles {
+			t := core.SplitConsumer(k.b, prof).Sum().Seconds()
+			sum += t
+			if t > worst {
+				worst = t
+			}
+		}
+		mean := sum / float64(pairs)
+		results[k] = [2]float64{mean, worst}
+		r.Rows = append(r.Rows, []string{
+			k.b.String(), fmt.Sprintf("%v", k.injected),
+			stats.FormatSeconds(mean), stats.FormatSeconds(worst),
+			stats.FormatRatio(worst / mean),
+		})
 	}
 
 	dyHealthy, dyBad := results[key{core.DYAD, false}], results[key{core.DYAD, true}]

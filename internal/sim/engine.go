@@ -133,12 +133,15 @@ func (e *Engine) Run() error {
 		}
 	}
 	// Drain any events scheduled by aborting procs (there should be none,
-	// but be safe against user cleanup code).
-	for len(e.pq) > 0 {
+	// but be safe against user cleanup code). Like the main loop, stop at
+	// the first failure: a panic during cleanup must not keep executing
+	// subsequent events against now-inconsistent state.
+	for len(e.pq) > 0 && e.failure == nil {
 		ev := heap.Pop(&e.pq).(*event)
 		e.now = ev.at
 		ev.fn()
 	}
+	e.pq = nil
 	if e.failure != nil {
 		return e.failure
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -377,5 +378,35 @@ func TestNegativeSleepPanics(t *testing.T) {
 	})
 	if err := e.Run(); err == nil {
 		t.Fatal("negative sleep did not surface as an error")
+	}
+}
+
+// Regression: the post-abort drain loop must stop at the first failure,
+// exactly like the main loop. A panic raised while running a stranded
+// process's cleanup events used to leave the drain executing every
+// subsequent event against the now-inconsistent engine state.
+func TestDrainStopsOnCleanupFailure(t *testing.T) {
+	e := NewEngine(1)
+	var sig Signal
+	ranAfter := false
+	e.Spawn("stranded", func(p *Proc) {
+		defer func() {
+			// Abort-time cleanup: schedule follow-up work. The first
+			// cleanup process panics; the second must then never run.
+			eng := p.Engine()
+			eng.Spawn("bad-cleanup", func(c *Proc) { panic("cleanup boom") })
+			eng.Spawn("after-cleanup", func(c *Proc) { ranAfter = true })
+		}()
+		sig.Wait(p) // never broadcast: stranded, aborted at end of run
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("want cleanup panic error, got nil")
+	}
+	if !strings.Contains(err.Error(), "cleanup boom") {
+		t.Fatalf("error %q does not surface the cleanup panic", err)
+	}
+	if ranAfter {
+		t.Fatal("drain kept executing events after a cleanup failure")
 	}
 }

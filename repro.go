@@ -8,7 +8,9 @@
 //     producer/consumer workflow over a simulated HPC cluster with the
 //     DYAD, XFS, or Lustre data-management backend, and obtain the paper's
 //     time decomposition (data movement vs idle) for producers and
-//     consumers. See Run, Repeat, and Aggregated.
+//     consumers. Independent runs and repetitions fan out across a worker
+//     pool with deterministic (worker-count-independent) results. See Run,
+//     Repeat, RunMany, and Aggregated.
 //
 //   - Paper experiments: regenerate any table or figure of the paper's
 //     evaluation with Experiments / RunExperiment.
@@ -60,8 +62,21 @@ type Model = models.Model
 // Run executes one workflow run.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
-// Repeat runs cfg reps times with distinct seeds.
+// Repeat runs cfg reps times with distinct seeds, in parallel across one
+// worker per available core. Results are deterministic: identical to
+// serial execution for any worker count.
 func Repeat(cfg Config, reps int) ([]*Result, error) { return core.Repeat(cfg, reps) }
+
+// RepeatWorkers is Repeat with an explicit worker count (<= 0 means one
+// per available core).
+func RepeatWorkers(cfg Config, reps, workers int) ([]*Result, error) {
+	return core.RepeatWorkers(cfg, reps, workers)
+}
+
+// RunMany executes independent workflow runs across a worker pool,
+// preserving input order and collecting every run's error instead of
+// aborting the batch on the first. See core.RunMany.
+func RunMany(cfgs []Config, workers int) ([]*Result, error) { return core.RunMany(cfgs, workers) }
 
 // Aggregated summarizes repeated results of one configuration.
 func Aggregated(results []*Result) Aggregate { return core.Aggregated(results) }

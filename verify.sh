@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate.
+#
+# Runs the tier-1 gate (build + tests) plus static vetting and the
+# race-enabled suite that locks in the parallel runner's no-shared-state
+# guarantee (see DESIGN.md §3b). Referenced from ROADMAP.md.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== tier-1: go build ./... =="
+go build ./...
+
+echo "== tier-1: go test ./... =="
+go test ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "verify.sh: all gates passed"
