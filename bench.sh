@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench.sh — measured benchmark run recorded into a JSON ledger.
+#
+# Runs the kernel microbenchmarks plus the end-to-end figure benchmarks the
+# perf acceptance criteria track, and merges ns/op, B/op, and allocs/op
+# into BENCH_PR2.json under the given label (default: "current"). With a
+# baseline label already present in the ledger, benchrec prints deltas.
+#
+# Usage:
+#   ./bench.sh            # record under label "current"
+#   ./bench.sh mylabel    # record under "mylabel"
+set -eu
+
+cd "$(dirname "$0")"
+
+LABEL="${1:-current}"
+LEDGER="BENCH_PR2.json"
+
+go build -o /tmp/benchrec ./cmd/benchrec
+
+{
+	go test -run=NONE -bench='BenchmarkSleepEvents|BenchmarkManyProcs|BenchmarkWakeBlock|BenchmarkHeapChurn10k|BenchmarkResourceContention' \
+		-benchtime=200000x ./internal/sim/
+	go test -run=NONE -bench='BenchmarkFig5$|BenchmarkFig6$' -benchtime=2x .
+} | tee /dev/stderr | /tmp/benchrec -label "$LABEL" -o "$LEDGER"
+
+echo "bench.sh: recorded under label \"$LABEL\" in $LEDGER"

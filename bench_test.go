@@ -13,6 +13,7 @@ import (
 // ns/op is the wall time to reproduce the artifact once.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	opts := experiments.Options{Quick: true, Reps: 2, Frames: 24}
 	for i := 0; i < b.N; i++ {
 		exp, err := experiments.ByID(id)
@@ -64,6 +65,7 @@ func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
 // BenchmarkWorkflowDYAD measures one raw DYAD workflow run (8 pairs, JAC)
 // — the simulator's own throughput, useful when tuning the kernel.
 func BenchmarkWorkflowDYAD(b *testing.B) {
+	b.ReportAllocs()
 	jac, err := ModelByName("JAC")
 	if err != nil {
 		b.Fatal(err)
@@ -77,6 +79,7 @@ func BenchmarkWorkflowDYAD(b *testing.B) {
 
 // BenchmarkWorkflowLustre measures one raw Lustre workflow run.
 func BenchmarkWorkflowLustre(b *testing.B) {
+	b.ReportAllocs()
 	jac, err := ModelByName("JAC")
 	if err != nil {
 		b.Fatal(err)

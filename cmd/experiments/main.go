@@ -26,16 +26,17 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiment ids and exit")
-		reps    = flag.Int("reps", 0, "repetitions per configuration (0 = paper default)")
-		frames  = flag.Int("frames", 0, "frames per pair (0 = paper default of 128)")
-		seed    = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
-		quick   = flag.Bool("quick", false, "reduced sweep for smoke runs")
-		workers = flag.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
-		asJSON  = flag.Bool("json", false, "emit reports as JSON instead of text tables")
-		asCSV   = flag.Bool("csv", false, "emit report tables as CSV (for plotting)")
-		outPath = flag.String("o", "", "write output to file instead of stdout")
-		quiet   = flag.Bool("q", false, "suppress per-experiment progress on stderr")
+		list     = flag.Bool("list", false, "list available experiment ids and exit")
+		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = paper default)")
+		frames   = flag.Int("frames", 0, "frames per pair (0 = paper default of 128)")
+		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+		quick    = flag.Bool("quick", false, "reduced sweep for smoke runs")
+		workers  = flag.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
+		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+		asCSV    = flag.Bool("csv", false, "emit report tables as CSV (for plotting)")
+		outPath  = flag.String("o", "", "write output to file instead of stdout")
+		quiet    = flag.Bool("q", false, "suppress per-experiment progress on stderr")
+		memstats = flag.Bool("memstats", false, "report per-experiment host allocation deltas on stderr")
 	)
 	flag.Parse()
 
@@ -83,6 +84,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s (workers=%d) ...", i+1, len(ids), id, effWorkers)
 		}
 		expStart := time.Now()
+		var before runtime.MemStats
+		if *memstats {
+			runtime.ReadMemStats(&before)
+		}
 		rep, err := repro.RunExperiment(id, opts)
 		if err != nil {
 			if !*quiet {
@@ -92,6 +97,9 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, " done in %.2fs\n", time.Since(expStart).Seconds())
+		}
+		if *memstats {
+			reportMemStats(id, &before)
 		}
 		switch {
 		case *asJSON:
@@ -117,6 +125,24 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) in %.2fs\n", len(ids), time.Since(start).Seconds())
 	}
+}
+
+// reportMemStats prints the host-side allocation delta one experiment
+// caused, on stderr so machine-readable stdout formats stay clean. The
+// deltas are how the allocation-budget claims in DESIGN.md §3c are checked
+// end to end (sweeps with RealFrames=false should show near-zero bytes per
+// simulated frame).
+func reportMemStats(id string, before *runtime.MemStats) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	fmt.Fprintf(os.Stderr,
+		"[memstats] %s: alloc=%.1fMB mallocs=%d gcs=%d heap_inuse=%.1fMB heap_sys=%.1fMB\n",
+		id,
+		float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
+		after.Mallocs-before.Mallocs,
+		after.NumGC-before.NumGC,
+		float64(after.HeapInuse)/(1<<20),
+		float64(after.HeapSys)/(1<<20))
 }
 
 func fatal(err error) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/sim"
 	"repro/internal/trajectory"
+	"repro/internal/vfs"
 )
 
 const frames = 32
@@ -105,7 +106,7 @@ func runInSitu(model models.Model, payload *frame.Frame) (first, last time.Durat
 	e := sim.NewEngine(1)
 	cl := cluster.New(e, cluster.CoronaProfile(2))
 	sys := dyad.New(cl, cl.Node(0), dyad.DefaultParams())
-	enc := payload.Encode()
+	enc := vfs.BytesPayload(payload.Encode())
 
 	e.Spawn("producer", func(p *sim.Proc) {
 		c := sys.NewClient(cl.Node(0))

@@ -8,6 +8,7 @@ import (
 
 // BenchmarkRadiusOfGyration measures Rg over a JAC-sized frame.
 func BenchmarkRadiusOfGyration(b *testing.B) {
+	b.ReportAllocs()
 	f := frame.NewSynthetic("JAC", 1, 23_558, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -17,6 +18,7 @@ func BenchmarkRadiusOfGyration(b *testing.B) {
 
 // BenchmarkLargestEigenvalue measures the gyration-tensor analysis.
 func BenchmarkLargestEigenvalue(b *testing.B) {
+	b.ReportAllocs()
 	f := frame.NewSynthetic("JAC", 1, 23_558, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -27,6 +29,7 @@ func BenchmarkLargestEigenvalue(b *testing.B) {
 // BenchmarkPowerIteration measures the dominant eigenvalue of a 256x256
 // distance matrix.
 func BenchmarkPowerIteration(b *testing.B) {
+	b.ReportAllocs()
 	f := frame.NewSynthetic("JAC", 1, 512, 7)
 	subset := make([]int, 256)
 	for i := range subset {

@@ -42,6 +42,11 @@ type Spec struct {
 	SSD    SSDSpec
 	NIC    NICSpec
 	Fabric FabricSpec
+
+	// QueueHint pre-sizes each device's wait queue for the expected number
+	// of concurrently blocked processes (0 = size on demand). Purely a
+	// host-memory optimization; it never changes simulated behavior.
+	QueueHint int
 }
 
 // CoronaProfile returns a profile approximating LLNL Corona (the paper's
@@ -176,6 +181,7 @@ func New(e *sim.Engine, spec Spec) *Cluster {
 		spec.SSD.Channels = 1
 	}
 	c := &Cluster{Spec: spec, e: e}
+	c.nodes = make([]*Node, 0, spec.Nodes)
 	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{
 			ID: i,
@@ -185,6 +191,10 @@ func New(e *sim.Engine, spec Spec) *Cluster {
 			},
 			nic: sim.NewResource(e, fmt.Sprintf("node%d/nic", i), 1),
 			cl:  c,
+		}
+		if spec.QueueHint > 0 {
+			n.SSD.dev.SetQueueHint(spec.QueueHint)
+			n.nic.SetQueueHint(spec.QueueHint)
 		}
 		c.nodes = append(c.nodes, n)
 	}

@@ -43,7 +43,7 @@ type rig struct {
 	xf  *xfs.FS
 	lfs *lustre.FS
 
-	payload []byte // shared synthetic frame payload (size-exact)
+	payload vfs.Payload // shared synthetic frame payload (size-exact)
 
 	prodProfiles []*caliper.Profile
 	consProfiles []*caliper.Profile
@@ -70,11 +70,23 @@ func newRig(cfg Config) *rig {
 		frameSize: cfg.Model.FrameBytes(),
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	// Pre-size the kernel for the run's known process population (one
+	// producer + one consumer per pair, plus Lustre noise processes) and a
+	// comfortable event-queue floor, so steady state never grows a slice.
+	procs := 2 * cfg.Pairs
+	if cfg.Backend == Lustre && cfg.LustreNoise {
+		procs += lustreServers - 1 // one noise process per OST
+	}
+	eng.Prealloc(procs, procs+8)
 	nodes := cfg.ComputeNodes()
 	if cfg.Backend == Lustre {
 		nodes += lustreServers
 	}
-	cl := cluster.New(eng, cluster.CoronaProfile(nodes))
+	spec := cluster.CoronaProfile(nodes)
+	// Worst-case queue depth per device: every process on a node blocked on
+	// the same resource.
+	spec.QueueHint = 2 * MaxProcsPerNode
+	cl := cluster.New(eng, spec)
 	r := &rig{cfg: rc, eng: eng, cl: cl}
 
 	if cfg.Trace != nil {
@@ -116,9 +128,10 @@ func newRig(cfg Config) *rig {
 	}
 
 	if !cfg.RealFrames {
-		// One shared payload of the exact frame size for all pairs; held by
-		// reference everywhere, so host memory stays flat.
-		r.payload = frame.NewSynthetic(cfg.Model.Name, 0, cfg.Model.Atoms, cfg.Seed|1).Encode()
+		// One shared size-only descriptor of the exact frame size for all
+		// pairs. Cost models depend only on the size, so sweeps move
+		// "frames" through the full data path with zero bytes allocated.
+		r.payload = vfs.SizeOnly(rc.frameSize)
 	}
 	return r
 }
@@ -214,7 +227,7 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 		// Serialize the frame (CPU cost proportional to size).
 		ann.Begin("serialize")
 		data := r.framePayload(pair, f)
-		p.Sleep(cpuTime(int64(len(data)), 2.5e9))
+		p.Sleep(cpuTime(data.Size(), 2.5e9))
 		ann.End("serialize")
 
 		path := pairPath(pair, f)
@@ -233,7 +246,7 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			gate.post.Post(p)
 			ann.End("explicit_sync")
 		}
-		p.Tracef("produced frame %d (%d bytes)", f, len(data))
+		p.Tracef("produced frame %d (%d bytes)", f, data.Size())
 	}
 	r.prodProfiles[pair] = ann.Profile()
 }
@@ -262,7 +275,7 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			gate.post.WaitSeq(p, f+1)
 			ann.End("explicit_sync")
 		}
-		var data []byte
+		var data vfs.Payload
 		switch r.cfg.Backend {
 		case DYAD:
 			data = client.Consume(p, ann, pairPath(pair, f))
@@ -275,11 +288,11 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			ann.End("read_single_buf")
 			data = got
 		}
-		p.Tracef("consumed frame %d (%d bytes)", f, len(data))
+		p.Tracef("consumed frame %d (%d bytes)", f, data.Size())
 		r.framesRead++
-		r.bytesRead += int64(len(data))
+		r.bytesRead += data.Size()
 		if r.cfg.RealFrames {
-			if err := r.verifyFrame(pair, f, data); err != nil {
+			if err := r.verifyFrame(pair, f, data.Bytes()); err != nil {
 				r.decodeErrs = append(r.decodeErrs, err)
 			}
 		}
@@ -287,7 +300,7 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		// Deserialize, then emulate the analytics computation for one
 		// frame period (paper §IV-C).
 		ann.Begin("deserialize")
-		p.Sleep(cpuTime(int64(len(data)), 3.0e9))
+		p.Sleep(cpuTime(data.Size(), 3.0e9))
 		ann.End("deserialize")
 		ann.Begin("analytics")
 		p.Sleep(r.cfg.frequency)
@@ -301,12 +314,14 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 	}
 }
 
-// framePayload returns the bytes the producer writes for frame f.
-func (r *rig) framePayload(pair, f int) []byte {
+// framePayload returns the payload the producer writes for frame f: the
+// shared size-only descriptor for sweeps, or a freshly encoded frame when
+// the run verifies content end to end.
+func (r *rig) framePayload(pair, f int) vfs.Payload {
 	if !r.cfg.RealFrames {
 		return r.payload
 	}
-	return frame.NewSynthetic(r.cfg.Model.Name, int64(f), r.cfg.Model.Atoms, r.cfg.Seed^uint64(pair)<<20^uint64(f)).Encode()
+	return vfs.BytesPayload(frame.NewSynthetic(r.cfg.Model.Name, int64(f), r.cfg.Model.Atoms, r.cfg.Seed^uint64(pair)<<20^uint64(f)).Encode())
 }
 
 // verifyFrame checks a consumed real frame decodes and matches its

@@ -6,15 +6,17 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // BenchmarkProduceConsume measures simulator throughput of full DYAD
 // produce+consume round trips (host time per simulated transfer).
 func BenchmarkProduceConsume(b *testing.B) {
+	b.ReportAllocs()
 	e := sim.NewEngine(1)
 	cl := cluster.New(e, cluster.CoronaProfile(2))
 	sys := New(cl, cl.Node(0), DefaultParams())
-	payload := make([]byte, 1<<16)
+	payload := vfs.BytesPayload(make([]byte, 1<<16))
 	e.Spawn("prod", func(p *sim.Proc) {
 		c := sys.NewClient(cl.Node(0))
 		for i := 0; i < b.N; i++ {

@@ -221,16 +221,16 @@ func (s *System) NewClient(node *cluster.Node) *Client {
 // Node returns the client's node.
 func (c *Client) Node() *cluster.Node { return c.broker.node }
 
-// Produce stages data under path in the node-local staging area and
+// Produce stages the payload under path in the node-local staging area and
 // publishes its metadata globally. The producer never blocks on any
 // consumer. Annotations: dyad_produce{dyad_prod_write, dyad_commit}.
-func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, data []byte) {
+func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vfs.Payload) {
 	path = vfs.Clean(path)
 	defer ann.Region("dyad_produce")()
 
 	ann.Begin("dyad_prod_write")
 	c.broker.locks.WithExclusive(p, path, func() {
-		if err := c.broker.staging.WriteFile(p, path, data); err != nil {
+		if err := c.broker.staging.WriteFile(p, path, pl); err != nil {
 			panic(fmt.Sprintf("dyad: staging write %s: %v", path, err))
 		}
 	})
@@ -239,13 +239,15 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, data 
 	// Global metadata management: the extra production-side cost the paper
 	// measures as DYAD's ~1.4x production overhead versus raw XFS.
 	ann.Begin("dyad_commit")
-	c.sys.kvs.Commit(p, c.broker.node, path, encodeMeta(meta{owner: c.broker.node.ID, size: int64(len(data))}))
+	c.sys.kvs.Commit(p, c.broker.node, path, encodeMeta(meta{owner: c.broker.node.ID, size: pl.Size()}))
 	c.sys.Produced++
 	ann.End("dyad_commit")
 }
 
-// Consume returns the bytes published under path, blocking until they have
-// been produced. Synchronization is adaptive:
+// Consume returns the payload published under path, blocking until it has
+// been produced. The returned handle aliases the producer's buffer — every
+// hop (staging, broker, cache, consumer) shares one copy. Synchronization
+// is adaptive:
 //
 //   - First touch of a flow: loosely-coupled KVS watch (consumer waits,
 //     producer unaffected) — region dyad_fetch.
@@ -255,7 +257,7 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, data 
 // Remote data moves via dyad_get_data (broker page-cache read + fabric
 // transfer) into the local RAM cache (dyad_cons_store) and is then read
 // back (read_single_buf).
-func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byte {
+func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) vfs.Payload {
 	path = vfs.Clean(path)
 	defer ann.Region("dyad_consume")()
 
@@ -296,7 +298,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byt
 
 	local := m.owner == c.broker.node.ID
 
-	var data []byte
+	var data vfs.Payload
 	if !local {
 		// --- Remote transfer (dyad_get_data) ---
 		ann.Begin("dyad_get_data")
@@ -313,17 +315,17 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byt
 			if !ok {
 				panic(fmt.Sprintf("dyad: broker missing staged file %s", path))
 			}
-			owner.cachedRead(p, int64(len(got)))
+			owner.cachedRead(p, got.Size())
 			data = got
 		})
 		if c.sys.params.NoDirectTransfer {
 			// Ablation: store-and-forward through the management node
 			// instead of a direct producer->consumer pull.
 			relay := c.sys.kvs.Node()
-			c.sys.cl.Transfer(p, owner.node, relay, int64(len(data)))
-			c.sys.cl.Transfer(p, relay, c.broker.node, int64(len(data)))
+			c.sys.cl.Transfer(p, owner.node, relay, data.Size())
+			c.sys.cl.Transfer(p, relay, c.broker.node, data.Size())
 		} else {
-			c.sys.cl.Transfer(p, owner.node, c.broker.node, int64(len(data)))
+			c.sys.cl.Transfer(p, owner.node, c.broker.node, data.Size())
 		}
 		c.sys.Fetched++
 		ann.End("dyad_get_data")
@@ -331,7 +333,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byt
 		// --- Local cache store (dyad_cons_store) ---
 		ann.Begin("dyad_cons_store")
 		c.broker.locks.WithExclusive(p, path, func() {
-			c.broker.cacheStore(p, int64(len(data)))
+			c.broker.cacheStore(p, data.Size())
 			c.broker.cache.Put(path, data)
 		})
 		ann.End("dyad_cons_store")
@@ -340,7 +342,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byt
 	// --- POSIX read from the node-local copy (read_single_buf) ---
 	ann.Begin("read_single_buf")
 	c.broker.locks.WithShared(p, path, func() {
-		var got []byte
+		var got vfs.Payload
 		var ok bool
 		if local {
 			got, ok = c.broker.staging.Tree().Get(path)
@@ -350,7 +352,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) []byt
 		if !ok {
 			panic(fmt.Sprintf("dyad: local copy of %s vanished", path))
 		}
-		c.broker.cachedRead(p, int64(len(got)))
+		c.broker.cachedRead(p, got.Size())
 		data = got
 	})
 	ann.End("read_single_buf")

@@ -9,6 +9,7 @@ import (
 	"repro/internal/caliper"
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // rig builds a DYAD deployment on an n-node cluster with KVS on node 0.
@@ -25,9 +26,9 @@ func TestProduceConsumeSameNode(t *testing.T) {
 	e := sim.NewEngine(1)
 	cl, sys := rig(e, 1)
 	payload := []byte("frame-0-bytes")
-	var got []byte
+	var got vfs.Payload
 	e.Spawn("prod", func(p *sim.Proc) {
-		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", payload)
+		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.BytesPayload(payload))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
 		got = sys.NewClient(cl.Node(0)).Consume(p, nil, "/flow/f0")
@@ -35,8 +36,8 @@ func TestProduceConsumeSameNode(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, payload) {
-		t.Fatalf("consumed %q, want %q", got, payload)
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("consumed %q, want %q", got.Bytes(), payload)
 	}
 	if sys.Fetched != 0 {
 		t.Fatalf("same-node consume used %d remote fetches", sys.Fetched)
@@ -47,9 +48,9 @@ func TestProduceConsumeCrossNode(t *testing.T) {
 	e := sim.NewEngine(1)
 	cl, sys := rig(e, 2)
 	payload := bytes.Repeat([]byte("x"), 1<<20)
-	var got []byte
+	var got vfs.Payload
 	e.Spawn("prod", func(p *sim.Proc) {
-		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", payload)
+		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.BytesPayload(payload))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
 		got = sys.NewClient(cl.Node(1)).Consume(p, nil, "/flow/f0")
@@ -57,7 +58,7 @@ func TestProduceConsumeCrossNode(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, payload) {
+	if !bytes.Equal(got.Bytes(), payload) {
 		t.Fatal("cross-node payload mismatch")
 	}
 	if sys.Fetched != 1 {
@@ -79,7 +80,7 @@ func TestConsumerBlocksUntilProduced(t *testing.T) {
 	})
 	e.Spawn("prod", func(p *sim.Proc) {
 		p.Sleep(100 * time.Millisecond)
-		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", []byte("late"))
+		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.BytesPayload([]byte("late")))
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -100,7 +101,7 @@ func TestProducerNeverBlocksOnConsumer(t *testing.T) {
 			c := sys.NewClient(cl.Node(0))
 			t0 := p.Now()
 			for i := 0; i < 10; i++ {
-				c.Produce(p, nil, fmt.Sprintf("/flow/f%d", i), make([]byte, 1<<16))
+				c.Produce(p, nil, fmt.Sprintf("/flow/f%d", i), vfs.SizeOnly(1<<16))
 			}
 			prodTime = p.Now() - t0
 		})
@@ -135,7 +136,7 @@ func TestAdaptiveSyncSwitchesProtocols(t *testing.T) {
 	e.Spawn("prod", func(p *sim.Proc) {
 		c := sys.NewClient(cl.Node(0))
 		for i := 0; i < n; i++ {
-			c.Produce(p, nil, fmt.Sprintf("/flow/f%d", i), make([]byte, 1<<18))
+			c.Produce(p, nil, fmt.Sprintf("/flow/f%d", i), vfs.SizeOnly(1<<18))
 			p.Sleep(10 * time.Millisecond)
 		}
 	})
@@ -174,7 +175,7 @@ func TestAnnotationsMatchDyadRegions(t *testing.T) {
 	cl, sys := rig(e, 2)
 	var prof *caliper.Profile
 	e.Spawn("prod", func(p *sim.Proc) {
-		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", make([]byte, 4096))
+		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.SizeOnly(4096))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
 		ann := annotator(p)
@@ -201,7 +202,7 @@ func TestSameNodeConsumeSkipsTransferRegions(t *testing.T) {
 	cl, sys := rig(e, 1)
 	var prof *caliper.Profile
 	e.Spawn("prod", func(p *sim.Proc) {
-		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", make([]byte, 4096))
+		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.SizeOnly(4096))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
 		ann := annotator(p)
@@ -243,7 +244,7 @@ func TestManyPairsConserveBytes(t *testing.T) {
 		e.Spawn(fmt.Sprintf("prod%d", pair), func(p *sim.Proc) {
 			c := sys.NewClient(cl.Node(0))
 			for f := 0; f < frames; f++ {
-				c.Produce(p, nil, fmt.Sprintf("/flow%d/f%d", pair, f), make([]byte, size))
+				c.Produce(p, nil, fmt.Sprintf("/flow%d/f%d", pair, f), vfs.SizeOnly(int64(size)))
 				p.Sleep(time.Duration(p.Rand().Intn(5)) * time.Millisecond)
 			}
 		})
@@ -251,7 +252,7 @@ func TestManyPairsConserveBytes(t *testing.T) {
 			c := sys.NewClient(cl.Node(1))
 			for f := 0; f < frames; f++ {
 				got := c.Consume(p, nil, fmt.Sprintf("/flow%d/f%d", pair, f))
-				consumedBytes += len(got)
+				consumedBytes += int(got.Size())
 			}
 		})
 	}
@@ -272,7 +273,7 @@ func TestMultipleConsumersSameFlow(t *testing.T) {
 	e := sim.NewEngine(1)
 	cl, sys := rig(e, 3)
 	n := 5
-	payload := make([]byte, 1<<16)
+	payload := vfs.SizeOnly(1 << 16)
 	e.Spawn("prod", func(p *sim.Proc) {
 		c := sys.NewClient(cl.Node(0))
 		for i := 0; i < n; i++ {
@@ -288,7 +289,7 @@ func TestMultipleConsumersSameFlow(t *testing.T) {
 			c := sys.NewClient(node)
 			for i := 0; i < n; i++ {
 				data := c.Consume(p, nil, fmt.Sprintf("/flow/f%d", i))
-				got[ci] += len(data)
+				got[ci] += int(data.Size())
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import "testing"
 
 // BenchmarkEncodeJAC measures serializing a JAC-sized frame (23,558 atoms).
 func BenchmarkEncodeJAC(b *testing.B) {
+	b.ReportAllocs()
 	f := NewSynthetic("JAC", 1, 23_558, 7)
 	b.SetBytes(EncodedSize("JAC", 23_558))
 	b.ResetTimer()
@@ -14,6 +15,7 @@ func BenchmarkEncodeJAC(b *testing.B) {
 
 // BenchmarkDecodeJAC measures parsing a JAC-sized frame.
 func BenchmarkDecodeJAC(b *testing.B) {
+	b.ReportAllocs()
 	buf := NewSynthetic("JAC", 1, 23_558, 7).Encode()
 	b.SetBytes(int64(len(buf)))
 	b.ResetTimer()

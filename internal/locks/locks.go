@@ -44,7 +44,7 @@ type Manager struct {
 type pathLock struct {
 	sharedHolders int
 	exclusive     bool
-	queue         []*waiter
+	queue         []waiter // by value; vacated slots are zeroed on grant
 }
 
 type waiter struct {
@@ -78,7 +78,7 @@ func (m *Manager) Lock(p *sim.Proc, path string, mode Mode) {
 		return
 	}
 	m.Contended++
-	l.queue = append(l.queue, &waiter{p: p, mode: mode})
+	l.queue = append(l.queue, waiter{p: p, mode: mode})
 	p.Block()
 	m.Acquired++
 }
@@ -100,14 +100,24 @@ func (m *Manager) Unlock(p *sim.Proc, path string, mode Mode) {
 		l.exclusive = false
 	}
 	// Grant in FIFO order; consecutive shared requests are granted together.
-	for len(l.queue) > 0 && l.grantable(l.queue[0].mode) {
-		w := l.queue[0]
-		l.queue = l.queue[1:]
+	// Queues here are short (per-path contention only), so granted slots are
+	// copied down rather than kept as a dead prefix.
+	granted := 0
+	for granted < len(l.queue) && l.grantable(l.queue[granted].mode) {
+		w := l.queue[granted]
+		granted++
 		l.grant(w.mode)
 		w.p.Wake()
 		if w.mode == Exclusive {
 			break
 		}
+	}
+	if granted > 0 {
+		live := copy(l.queue, l.queue[granted:])
+		for i := live; i < len(l.queue); i++ {
+			l.queue[i] = waiter{} // release the proc reference
+		}
+		l.queue = l.queue[:live]
 	}
 }
 

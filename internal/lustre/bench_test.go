@@ -5,15 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // BenchmarkWrite1MiB measures simulator throughput of striped Lustre
 // writes (host time per simulated 1 MiB file write).
 func BenchmarkWrite1MiB(b *testing.B) {
+	b.ReportAllocs()
 	e := sim.NewEngine(1)
 	cl, fs := testRig(e, 1, 4)
 	c := fs.Client(cl.Node(0))
-	payload := make([]byte, 1<<20)
+	payload := vfs.BytesPayload(make([]byte, 1<<20))
 	e.Spawn("w", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
 			if err := c.WriteFile(p, fmt.Sprintf("/f%d", i), payload); err != nil {

@@ -33,7 +33,7 @@ func (c *Client) CreateFile(p *sim.Proc, path string) (vfs.Handle, error) {
 		f.layout[path] = f.nextOST
 		f.nextOST = (f.nextOST + 1) % len(f.osts)
 	}
-	f.tree.Put(path, nil)
+	f.tree.Put(path, vfs.Payload{})
 	return &handle{c: c, path: path}, nil
 }
 
@@ -68,12 +68,15 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 		return nil, fmt.Errorf("lustre: %s: negative range (%d, %d)", h.path, off, n)
 	}
 	f := h.c.fs
-	data, ok := f.tree.Get(h.path)
+	pl, ok := f.tree.Get(h.path)
 	if !ok {
 		return nil, vfs.PathError("read", h.path, vfs.ErrNotExist)
 	}
-	if off+n > int64(len(data)) {
-		return nil, fmt.Errorf("lustre: %s: read [%d,%d) past EOF %d", h.path, off, off+n, len(data))
+	if off+n > pl.Size() {
+		return nil, fmt.Errorf("lustre: %s: read [%d,%d) past EOF %d", h.path, off, off+n, pl.Size())
+	}
+	if !pl.HasBytes() {
+		return nil, vfs.PathError("read", h.path, vfs.ErrSizeOnly)
 	}
 	first := f.layout[h.path]
 	firstRPC := true
@@ -87,7 +90,7 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 		}
 		f.cl.RPC(p, h.c.node, o.node, 256, bytes, o.srv, service)
 	})
-	return data[off : off+n], nil
+	return pl.Bytes()[off : off+n], nil
 }
 
 // WriteAt pushes only the covered stripes' OSTs.
@@ -100,8 +103,8 @@ func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 	if !ok {
 		return vfs.PathError("write", h.path, vfs.ErrNotExist)
 	}
-	if off < 0 || off > int64(len(cur)) {
-		return fmt.Errorf("lustre: %s: write at %d would leave a hole (size %d)", h.path, off, len(cur))
+	if off < 0 || off > cur.Size() {
+		return fmt.Errorf("lustre: %s: write at %d would leave a hole (size %d)", h.path, off, cur.Size())
 	}
 	first := f.layout[h.path]
 	firstRPC := true
@@ -115,7 +118,7 @@ func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 		}
 		f.cl.RPC(p, h.c.node, o.node, bytes, 64, o.srv, service)
 	})
-	f.tree.Put(h.path, vfs.SpliceRange(cur, off, data))
+	f.tree.Put(h.path, vfs.SplicePayload(cur, off, vfs.BytesPayload(data)))
 	return nil
 }
 

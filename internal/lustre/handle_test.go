@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 func TestHandleRangeReadTouchesOnlyCoveredStripes(t *testing.T) {
 	e := sim.NewEngine(1)
 	cl, fs := testRig(e, 1, 4)
 	c := fs.Client(cl.Node(0))
-	payload := bytes.Repeat([]byte("x"), 4<<20) // 4 chunks of 1 MiB
+	payload := vfs.BytesPayload(bytes.Repeat([]byte("x"), 4<<20)) // 4 chunks of 1 MiB
 	e.Spawn("io", func(p *sim.Proc) {
 		if err := c.WriteFile(p, "/f", payload); err != nil {
 			t.Errorf("write: %v", err)
@@ -50,7 +51,7 @@ func TestHandlePartialReadCheaperThanFull(t *testing.T) {
 	e := sim.NewEngine(1)
 	cl, fs := testRig(e, 1, 4)
 	c := fs.Client(cl.Node(0))
-	payload := bytes.Repeat([]byte("y"), 8<<20)
+	payload := vfs.BytesPayload(bytes.Repeat([]byte("y"), 8<<20))
 	var partial, full time.Duration
 	e.Spawn("io", func(p *sim.Proc) {
 		_ = c.WriteFile(p, "/f", payload)
@@ -117,8 +118,8 @@ func TestHandleCreateVisibleAcrossClients(t *testing.T) {
 	e.Spawn("r", func(p *sim.Proc) {
 		p.Sleep(time.Second)
 		got, err := reader.ReadFile(p, "/shared")
-		if err != nil || string(got) != "cross-node" {
-			t.Errorf("cross-node read %q, %v", got, err)
+		if err != nil || string(got.Bytes()) != "cross-node" {
+			t.Errorf("cross-node read %q, %v", got.Bytes(), err)
 		}
 	})
 	if err := e.Run(); err != nil {

@@ -236,7 +236,8 @@ func (c *Client) Name() string { return "lustre" }
 func (c *Client) Node() *cluster.Node { return c.node }
 
 // WriteFile implements vfs.FS: MDS create + striped OST writes + MDS close.
-func (c *Client) WriteFile(p *sim.Proc, path string, data []byte) error {
+// The payload is stored by reference, never copied.
+func (c *Client) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	f := c.fs
 	path = vfs.Clean(path)
 	f.mdsRPC(p, c.node) // open/create with layout allocation
@@ -246,23 +247,23 @@ func (c *Client) WriteFile(p *sim.Proc, path string, data []byte) error {
 		f.nextOST = (f.nextOST + 1) % len(f.osts)
 		f.layout[path] = first
 	}
-	f.writeChunks(p, c.node, first, int64(len(data)))
+	f.writeChunks(p, c.node, first, pl.Size())
 	f.mdsRPC(p, c.node) // close: size/attr update at the MDS
-	f.tree.Put(path, data)
+	f.tree.Put(path, pl)
 	return nil
 }
 
 // ReadFile implements vfs.FS: MDS lookup + striped OST reads.
-func (c *Client) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+func (c *Client) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	f := c.fs
 	path = vfs.Clean(path)
 	f.mdsRPC(p, c.node)
-	data, ok := f.tree.Get(path)
+	pl, ok := f.tree.Get(path)
 	if !ok {
-		return nil, vfs.PathError("read", path, vfs.ErrNotExist)
+		return vfs.Payload{}, vfs.PathError("read", path, vfs.ErrNotExist)
 	}
-	f.readChunks(p, c.node, f.layout[path], int64(len(data)))
-	return data, nil
+	f.readChunks(p, c.node, f.layout[path], pl.Size())
+	return pl, nil
 }
 
 // Stat implements vfs.FS: one MDS round trip.

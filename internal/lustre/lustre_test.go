@@ -31,7 +31,7 @@ func TestWriteReadRoundTripAcrossNodes(t *testing.T) {
 	cl, fs := testRig(e, 2, 4)
 	writer := fs.Client(cl.Node(0))
 	reader := fs.Client(cl.Node(1))
-	payload := bytes.Repeat([]byte("x"), 3<<20) // 3 MiB: multiple stripes
+	payload := vfs.BytesPayload(bytes.Repeat([]byte("x"), 3<<20)) // 3 MiB: multiple stripes
 	e.Spawn("w", func(p *sim.Proc) {
 		if err := writer.WriteFile(p, "/frames/f0", payload); err != nil {
 			t.Errorf("write: %v", err)
@@ -43,7 +43,7 @@ func TestWriteReadRoundTripAcrossNodes(t *testing.T) {
 		if err != nil {
 			t.Errorf("read: %v", err)
 		}
-		if !bytes.Equal(got, payload) {
+		if !bytes.Equal(got.Bytes(), payload.Bytes()) {
 			t.Error("cross-node read mismatch")
 		}
 	})
@@ -97,7 +97,7 @@ func TestWriteSlowerThanNodeLocal(t *testing.T) {
 	var took time.Duration
 	e.Spawn("w", func(p *sim.Proc) {
 		t0 := p.Now()
-		_ = c.WriteFile(p, "/f", make([]byte, 1<<20))
+		_ = c.WriteFile(p, "/f", vfs.SizeOnly(1<<20))
 		took = p.Now() - t0
 	})
 	if err := e.Run(); err != nil {
@@ -119,7 +119,7 @@ func TestMDSSerializesMetadataStorm(t *testing.T) {
 	for i := 0; i < n; i++ {
 		path := fmt.Sprintf("/f%d", i)
 		e.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			_ = c.WriteFile(p, path, []byte("tiny"))
+			_ = c.WriteFile(p, path, vfs.BytesPayload([]byte("tiny")))
 		})
 	}
 	if err := e.Run(); err != nil {
@@ -137,7 +137,7 @@ func TestStripingSpreadsFilesOverOSTs(t *testing.T) {
 	c := fs.Client(cl.Node(0))
 	e.Spawn("w", func(p *sim.Proc) {
 		for i := 0; i < 8; i++ {
-			_ = c.WriteFile(p, fmt.Sprintf("/f%d", i), make([]byte, 1<<10))
+			_ = c.WriteFile(p, fmt.Sprintf("/f%d", i), vfs.SizeOnly(1<<10))
 		}
 	})
 	if err := e.Run(); err != nil {
@@ -164,7 +164,7 @@ func TestNoiseAddsInterferenceAndStops(t *testing.T) {
 	e.Spawn("w", func(p *sim.Proc) {
 		t0 := p.Now()
 		for i := 0; i < 20; i++ {
-			_ = c.WriteFile(p, fmt.Sprintf("/f%d", i), make([]byte, 1<<20))
+			_ = c.WriteFile(p, fmt.Sprintf("/f%d", i), vfs.SizeOnly(1<<20))
 		}
 		took = p.Now() - t0
 		fs.StopNoise()
@@ -183,7 +183,7 @@ func TestNoiseAddsInterferenceAndStops(t *testing.T) {
 	e2.Spawn("w", func(p *sim.Proc) {
 		t0 := p.Now()
 		for i := 0; i < 20; i++ {
-			_ = c2.WriteFile(p, fmt.Sprintf("/f%d", i), make([]byte, 1<<20))
+			_ = c2.WriteFile(p, fmt.Sprintf("/f%d", i), vfs.SizeOnly(1<<20))
 		}
 		quiet = p.Now() - t0
 	})
@@ -219,12 +219,12 @@ func TestStripeReassemblyProperty(t *testing.T) {
 		}
 		ok := true
 		e.Spawn("rw", func(p *sim.Proc) {
-			if err := c.WriteFile(p, "/f", payload); err != nil {
+			if err := c.WriteFile(p, "/f", vfs.BytesPayload(payload)); err != nil {
 				ok = false
 				return
 			}
 			got, err := c.ReadFile(p, "/f")
-			ok = err == nil && bytes.Equal(got, payload)
+			ok = err == nil && bytes.Equal(got.Bytes(), payload)
 		})
 		return e.Run() == nil && ok
 	}

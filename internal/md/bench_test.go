@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkStep512 measures one velocity-Verlet step of a 512-atom LJ
 // fluid with cell lists.
 func BenchmarkStep512(b *testing.B) {
+	b.ReportAllocs()
 	s := NewLattice(512, 0.8, 1.0, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -14,6 +15,7 @@ func BenchmarkStep512(b *testing.B) {
 
 // BenchmarkStep4096 measures a 4,096-atom step (cell-list scaling).
 func BenchmarkStep4096(b *testing.B) {
+	b.ReportAllocs()
 	s := NewLattice(4096, 0.8, 1.0, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

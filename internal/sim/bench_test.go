@@ -7,8 +7,11 @@ import (
 )
 
 // BenchmarkSleepEvents measures kernel throughput: one process sleeping
-// b.N times (schedule + heap + baton passing per event).
+// b.N times (schedule + heap + baton passing per event). The steady-state
+// allocation budget is zero: deliver events carry a proc index, not a
+// closure, and the heap slice is reused.
 func BenchmarkSleepEvents(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	e.Spawn("p", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
@@ -23,9 +26,11 @@ func BenchmarkSleepEvents(b *testing.B) {
 
 // BenchmarkManyProcs measures baton passing across 100 interleaved procs.
 func BenchmarkManyProcs(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	const procs = 100
 	steps := b.N/procs + 1
+	e.Prealloc(procs, procs+1)
 	for i := 0; i < procs; i++ {
 		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
 			for s := 0; s < steps; s++ {
@@ -41,6 +46,7 @@ func BenchmarkManyProcs(b *testing.B) {
 
 // BenchmarkResourceContention measures queued grants under contention.
 func BenchmarkResourceContention(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	r := NewResource(e, "dev", 1)
 	const procs = 16
@@ -58,8 +64,59 @@ func BenchmarkResourceContention(b *testing.B) {
 	}
 }
 
+// BenchmarkWakeBlock measures the Block/Wake baton-passing fast path: two
+// processes handing control back and forth with no timer events involved.
+func BenchmarkWakeBlock(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	var pa, pb *Proc
+	rounds := b.N/2 + 1
+	pa = e.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Block()
+			pb.Wake()
+		}
+	})
+	pb = e.Spawn("b", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			pa.Wake()
+			p.Block()
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeapChurn10k measures push/pop throughput with 10k+ events
+// resident in the queue: every proc keeps one pending timer, so each Sleep
+// sifts through a deep heap. This is the paper-scale regime (thousands of
+// concurrent producer/consumer/server processes).
+func BenchmarkHeapChurn10k(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	const procs = 10_000
+	steps := b.N/procs + 1
+	e.Prealloc(procs, procs+1)
+	for i := 0; i < procs; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				// Spread wakeups so the heap stays full and ordering work
+				// is non-trivial (random keys, not FIFO).
+				p.Sleep(time.Duration(1+p.Rand().Intn(1000)) * time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRNG measures the deterministic random stream.
 func BenchmarkRNG(b *testing.B) {
+	b.ReportAllocs()
 	r := NewRNG(1)
 	var sink uint64
 	for i := 0; i < b.N; i++ {

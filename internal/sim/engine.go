@@ -9,11 +9,13 @@
 //
 // The kernel is the substrate for every simulated subsystem in this
 // repository: storage devices, network fabrics, filesystems, the Lustre and
-// DYAD services, and the MD workflow processes themselves.
+// DYAD services, and the MD workflow processes themselves. Millions of
+// events flow through it per experiment sweep, so the hot path (sleep,
+// block, wake, deliver) is allocation-free in steady state; see DESIGN.md
+// §3c for the kernel performance model.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -23,32 +25,28 @@ import (
 // the start of the simulation (t=0).
 type Time = time.Duration
 
-// event is a scheduled callback. Events with equal time fire in schedule
-// order (seq), which makes runs deterministic.
+// event is a scheduled occurrence. The dominant kind — delivering the baton
+// to a sleeping or woken process — is encoded as the process's index, so
+// scheduling it allocates nothing; the general kind carries a callback.
+// Events with equal time fire in schedule order (seq), which makes runs
+// deterministic.
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	proc int32 // index into Engine.procs, or noProc for callback events
+	fn   func()
 }
 
-type eventHeap []*event
+// noProc marks an event that runs fn instead of delivering to a process.
+const noProc = int32(-1)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b: earlier time first, schedule
+// order breaking ties.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // ErrStranded is reported by Run when the event queue drains while one or
@@ -61,9 +59,13 @@ var ErrStranded = errors.New("sim: processes stranded at end of run")
 // from multiple OS threads; all interaction must happen either before Run or
 // from within simulated processes.
 type Engine struct {
-	now      Time
-	seq      int64
-	pq       eventHeap
+	now Time
+	seq int64
+	// pq is an inlined 4-ary min-heap of events by (at, seq), stored by
+	// value: pushes append into the reused backing array instead of boxing
+	// a pointer per event, and the shallow tree keeps sift-ups cheap for
+	// the push-heavy workload.
+	pq       []event
 	kernelCh chan struct{} // procs hand the baton back on this channel
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
@@ -83,6 +85,24 @@ func NewEngine(seed uint64) *Engine {
 	}
 }
 
+// Prealloc reserves capacity for an expected workload: procs processes and
+// events simultaneously pending events. Harnesses that know their ensemble
+// size call it once per run so repetition sweeps never re-grow the process
+// table or the event heap. Undersized (or unset) hints only cost the usual
+// amortized growth; they never limit the run.
+func (e *Engine) Prealloc(procs, events int) {
+	if procs > cap(e.procs) {
+		grown := make([]*Proc, len(e.procs), procs)
+		copy(grown, e.procs)
+		e.procs = grown
+	}
+	if events > cap(e.pq) {
+		grown := make([]event, len(e.pq), events)
+		copy(grown, e.pq)
+		e.pq = grown
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -93,6 +113,60 @@ func (e *Engine) Seed() uint64 { return e.seed }
 // default) makes tracing free.
 func (e *Engine) SetTracer(fn func(t Time, procName, msg string)) { e.tracer = fn }
 
+// push inserts ev into the heap.
+func (e *Engine) push(ev event) {
+	pq := append(e.pq, ev)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !pq[i].before(&pq[parent]) {
+			break
+		}
+		pq[i], pq[parent] = pq[parent], pq[i]
+		i = parent
+	}
+	e.pq = pq
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	pq := e.pq
+	top := pq[0]
+	n := len(pq) - 1
+	last := pq[n]
+	pq[n] = event{} // clear the vacated slot so callbacks are not pinned
+	pq = pq[:n]
+	e.pq = pq
+	if n == 0 {
+		return top
+	}
+	// Sift last down from the root.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if pq[j].before(&pq[min]) {
+				min = j
+			}
+		}
+		if !pq[min].before(&last) {
+			break
+		}
+		pq[i] = pq[min]
+		i = min
+	}
+	pq[i] = last
+	return top
+}
+
 // schedule enqueues fn to run at absolute virtual time at. Scheduling in
 // the past is a programming error.
 func (e *Engine) schedule(at Time, fn func()) {
@@ -100,7 +174,27 @@ func (e *Engine) schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, proc: noProc, fn: fn})
+}
+
+// scheduleDeliver enqueues baton delivery to the process at index idx —
+// the steady-state event kind behind Sleep, Wake, and Spawn. Unlike
+// schedule it captures no closure, so it allocates nothing.
+func (e *Engine) scheduleDeliver(at Time, idx int32) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, proc: idx})
+}
+
+// fire executes one popped event.
+func (e *Engine) fire(ev *event) {
+	if ev.proc >= 0 {
+		e.deliver(e.procs[ev.proc])
+		return
+	}
+	ev.fn()
 }
 
 // After schedules fn to run d from now. It may be called before Run or from
@@ -118,9 +212,9 @@ func (e *Engine) After(d Time, fn func()) {
 // processes are aborted before Run returns, so no goroutines leak.
 func (e *Engine) Run() error {
 	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.fire(&ev)
 		if e.failure != nil {
 			break
 		}
@@ -137,11 +231,16 @@ func (e *Engine) Run() error {
 	// the first failure: a panic during cleanup must not keep executing
 	// subsequent events against now-inconsistent state.
 	for len(e.pq) > 0 && e.failure == nil {
-		ev := heap.Pop(&e.pq).(*event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.fire(&ev)
 	}
-	e.pq = nil
+	// Keep the backing array for engines that run again; clear residual
+	// events (present only after a failure) so their callbacks are freed.
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
 	if e.failure != nil {
 		return e.failure
 	}

@@ -11,6 +11,7 @@ import (
 type Proc struct {
 	e       *Engine
 	name    string
+	idx     int32 // index in Engine.procs; identifies the proc in events
 	resume  chan struct{}
 	done    bool
 	waiting bool // blocked on a signal/resource (not a timed event)
@@ -28,6 +29,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		e:      e,
 		name:   name,
+		idx:    int32(len(e.procs)),
 		resume: make(chan struct{}),
 		rng:    NewRNG(e.seed ^ hash64(name) ^ uint64(len(e.procs)+1)*0x9e3779b97f4a7c15),
 	}
@@ -47,7 +49,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.schedule(e.now, func() { e.deliver(p) })
+	e.scheduleDeliver(e.now, p.idx)
 	return p
 }
 
@@ -97,8 +99,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %q sleeping negative duration %v", p.name, d))
 	}
-	self := p
-	p.e.schedule(p.e.now+d, func() { p.e.deliver(self) })
+	p.e.scheduleDeliver(p.e.now+d, p.idx)
 	p.yield()
 }
 
@@ -115,8 +116,7 @@ func (p *Proc) Block() {
 // virtual time. Calling Wake on a process that is not blocked (or waking it
 // twice) is a programming error and will panic inside the kernel.
 func (p *Proc) Wake() {
-	self := p
-	p.e.schedule(p.e.now, func() { p.e.deliver(self) })
+	p.e.scheduleDeliver(p.e.now, p.idx)
 }
 
 // Tracef emits a trace line through the engine's tracer, if one is set.

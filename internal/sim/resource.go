@@ -14,7 +14,13 @@ type Resource struct {
 	name  string
 	cap   int
 	inUse int
-	queue []*resWaiter
+	// queue[qhead:] are the live waiters, stored by value so queueing
+	// allocates nothing beyond amortized slice growth. Vacated slots are
+	// zeroed so a drained queue never pins finished processes, and the
+	// backing array is compacted once the dead prefix dominates.
+	queue     []resWaiter
+	qhead     int
+	queueHint int // pre-size applied on first enqueue (0 = none)
 
 	// Busy accumulates total grant-duration (units * time) for utilization
 	// accounting; see Utilization.
@@ -47,7 +53,12 @@ func (r *Resource) Capacity() int { return r.cap }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting for a grant.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
+
+// SetQueueHint sizes the wait queue's first allocation for an expected
+// number of concurrent waiters. Applied lazily, so uncontended resources
+// still allocate nothing.
+func (r *Resource) SetQueueHint(n int) { r.queueHint = n }
 
 func (r *Resource) account() {
 	now := r.e.Now()
@@ -70,12 +81,15 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n < 1 || n > r.cap {
 		panic(fmt.Sprintf("sim: acquire %d of resource %q with capacity %d", n, r.name, r.cap))
 	}
-	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+	if r.qhead == len(r.queue) && r.inUse+n <= r.cap {
 		r.account()
 		r.inUse += n
 		return
 	}
-	r.queue = append(r.queue, &resWaiter{p: p, n: n})
+	if r.queue == nil && r.queueHint > 0 {
+		r.queue = make([]resWaiter, 0, r.queueHint)
+	}
+	r.queue = append(r.queue, resWaiter{p: p, n: n})
 	p.Block()
 }
 
@@ -86,11 +100,27 @@ func (r *Resource) Release(n int) {
 	}
 	r.account()
 	r.inUse -= n
-	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
-		w := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.qhead < len(r.queue) && r.inUse+r.queue[r.qhead].n <= r.cap {
+		w := r.queue[r.qhead]
+		r.queue[r.qhead] = resWaiter{} // release the proc reference
+		r.qhead++
 		r.inUse += w.n
 		w.p.Wake()
+	}
+	switch {
+	case r.qhead == len(r.queue):
+		// Drained: reuse the backing array from the start.
+		r.queue = r.queue[:0]
+		r.qhead = 0
+	case r.qhead > 64 && r.qhead >= len(r.queue)/2:
+		// Dead prefix dominates: compact live waiters to the front so a
+		// long-lived queue's memory stays proportional to its depth.
+		live := copy(r.queue, r.queue[r.qhead:])
+		for i := live; i < len(r.queue); i++ {
+			r.queue[i] = resWaiter{}
+		}
+		r.queue = r.queue[:live]
+		r.qhead = 0
 	}
 }
 

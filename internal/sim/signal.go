@@ -14,12 +14,14 @@ func (s *Signal) Wait(p *Proc) {
 }
 
 // Broadcast wakes all processes currently blocked in Wait, in arrival order.
+// Wake only schedules delivery — no waiter resumes (or re-Waits) until the
+// kernel regains control — so the slice can be cleared and reused in place.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	for i, w := range s.waiters {
 		w.Wake()
+		s.waiters[i] = nil
 	}
+	s.waiters = s.waiters[:0]
 }
 
 // Pending returns the number of processes blocked on the signal.

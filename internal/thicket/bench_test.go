@@ -9,6 +9,7 @@ import (
 
 // BenchmarkEnsemble measures merging 64 profiles of a consume-shaped tree.
 func BenchmarkEnsemble(b *testing.B) {
+	b.ReportAllocs()
 	profiles := make([]*caliper.Profile, 64)
 	for i := range profiles {
 		profiles[i] = consumeProfile("c", time.Duration(i)*time.Millisecond, time.Millisecond, time.Millisecond)
@@ -21,6 +22,7 @@ func BenchmarkEnsemble(b *testing.B) {
 
 // BenchmarkQuery measures a predicate query against an ensembled tree.
 func BenchmarkQuery(b *testing.B) {
+	b.ReportAllocs()
 	profiles := make([]*caliper.Profile, 16)
 	for i := range profiles {
 		profiles[i] = consumeProfile("c", time.Millisecond, time.Millisecond, time.Millisecond)

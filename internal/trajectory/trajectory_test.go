@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/frame"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 	"repro/internal/xfs"
 )
 
@@ -93,7 +94,7 @@ func TestOpenRejectsGarbage(t *testing.T) {
 		if _, err := Open(p, fs, "/missing"); err == nil {
 			t.Error("open of missing file accepted")
 		}
-		_ = fs.WriteFile(p, "/junk", []byte("not a trajectory at all"))
+		_ = fs.WriteFile(p, "/junk", vfs.BytesPayload([]byte("not a trajectory at all")))
 		if _, err := Open(p, fs, "/junk"); err == nil {
 			t.Error("garbage accepted")
 		}

@@ -1,13 +1,16 @@
 package vfs
 
 import (
+	"errors"
+
 	"repro/internal/sim"
 )
 
 // Handle is an open file supporting byte-range I/O — the POSIX-style
 // access pattern underneath the whole-file convenience calls. Backends
 // charge their cost models per operation; Lustre, for example, only
-// touches the OSTs whose stripes a range covers.
+// touches the OSTs whose stripes a range covers. Range access needs real
+// content: operating on a file stored as a size-only Payload is an error.
 type Handle interface {
 	// Path returns the cleaned path the handle refers to.
 	Path() string
@@ -34,17 +37,6 @@ type HandleFS interface {
 	CreateFile(p *sim.Proc, path string) (Handle, error)
 }
 
-// SpliceRange is the shared copy-on-write range-update helper backends use
-// to implement WriteAt without mutating aliased payloads: it returns a new
-// slice with data spliced over [off, off+len(data)).
-func SpliceRange(cur []byte, off int64, data []byte) []byte {
-	end := off + int64(len(data))
-	n := int64(len(cur))
-	if end < n {
-		end = n
-	}
-	out := make([]byte, end)
-	copy(out, cur)
-	copy(out[off:], data)
-	return out
-}
+// ErrSizeOnly is returned by byte-range operations on files stored as
+// size-only payload descriptors: there are no bytes to read or splice.
+var ErrSizeOnly = errors.New("vfs: file content is a size-only descriptor")

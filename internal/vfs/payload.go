@@ -1,0 +1,69 @@
+package vfs
+
+import "fmt"
+
+// Payload is an immutable handle on file content. It is the unit of data
+// movement across the simulated stack: producers hand one to WriteFile,
+// backends store it, brokers forward it, and consumers get the same handle
+// back — one underlying buffer shared by reference at every hop, never
+// copied.
+//
+// Ownership rules (see DESIGN.md §3c): the creator must not mutate the
+// byte slice after wrapping it, and readers must treat Bytes as read-only.
+// Range updates go through SplicePayload, which is copy-on-write, so
+// aliased readers are always safe.
+//
+// A payload may also be size-only: it models content of a given size
+// without backing bytes, which is how parameter sweeps (RealFrames=false)
+// move "frames" through the full data path while the host allocates
+// nothing per frame. Cost models depend only on Size, so a size-only run
+// is virtual-time-identical to a byte-backed one.
+type Payload struct {
+	data     []byte
+	size     int64
+	sizeOnly bool
+}
+
+// BytesPayload wraps b (which may be nil for an empty file) as an immutable
+// payload. The caller gives up write access to b.
+func BytesPayload(b []byte) Payload {
+	return Payload{data: b, size: int64(len(b))}
+}
+
+// SizeOnly returns a payload descriptor of n bytes with no backing buffer.
+func SizeOnly(n int64) Payload {
+	if n < 0 {
+		panic(fmt.Sprintf("vfs: negative payload size %d", n))
+	}
+	return Payload{size: n, sizeOnly: true}
+}
+
+// Size returns the content size in bytes.
+func (pl Payload) Size() int64 { return pl.size }
+
+// HasBytes reports whether the payload carries real content (as opposed to
+// a size-only descriptor).
+func (pl Payload) HasBytes() bool { return !pl.sizeOnly }
+
+// Bytes returns the shared underlying buffer (nil for size-only payloads).
+// Callers must not mutate it; every holder of this payload aliases it.
+func (pl Payload) Bytes() []byte { return pl.data }
+
+// SplicePayload is the shared copy-on-write range-update helper backends
+// use to implement WriteAt without mutating aliased payloads: it returns a
+// new payload with data spliced over [off, off+data.Size()). If either
+// side is size-only the result is size-only (content cannot be
+// reconstructed), preserving only the resulting size.
+func SplicePayload(cur Payload, off int64, data Payload) Payload {
+	end := off + data.Size()
+	if cur.Size() > end {
+		end = cur.Size()
+	}
+	if !cur.HasBytes() || !data.HasBytes() {
+		return SizeOnly(end)
+	}
+	out := make([]byte, end)
+	copy(out, cur.Bytes())
+	copy(out[off:], data.Bytes())
+	return BytesPayload(out)
+}

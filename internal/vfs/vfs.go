@@ -32,14 +32,16 @@ type FileInfo struct {
 
 // FS is the storage interface producers and consumers program against.
 // Every operation takes the calling simulated process and charges virtual
-// time according to the backend's cost model.
+// time according to the backend's cost model. Content moves as immutable
+// Payload handles: a write hands the backend a shared reference and a read
+// returns the same reference — no backend copies payload bytes.
 type FS interface {
 	// Name identifies the backend ("xfs", "lustre", ...).
 	Name() string
-	// WriteFile creates (or replaces) path with data.
-	WriteFile(p *sim.Proc, path string, data []byte) error
-	// ReadFile returns the contents of path.
-	ReadFile(p *sim.Proc, path string) ([]byte, error)
+	// WriteFile creates (or replaces) path with pl.
+	WriteFile(p *sim.Proc, path string, pl Payload) error
+	// ReadFile returns the payload stored at path.
+	ReadFile(p *sim.Proc, path string) (Payload, error)
 	// Stat returns metadata for path.
 	Stat(p *sim.Proc, path string) (FileInfo, error)
 	// Unlink removes path.
@@ -59,43 +61,37 @@ func Clean(path string) string {
 	return "/" + strings.Join(out, "/")
 }
 
-// Tree is an in-memory file table keyed by cleaned path. It holds payloads
-// by reference. Backends embed a Tree and wrap it with their cost models.
+// Tree is an in-memory file table keyed by cleaned path. It holds payload
+// handles by value, so storing a file neither copies content nor allocates
+// an entry. Backends embed a Tree and wrap it with their cost models.
 // Tree itself charges no virtual time.
 type Tree struct {
-	files map[string]*entry
-}
-
-type entry struct {
-	data []byte
+	files map[string]Payload
 }
 
 // NewTree returns an empty file table.
 func NewTree() *Tree {
-	return &Tree{files: make(map[string]*entry)}
+	return &Tree{files: make(map[string]Payload)}
 }
 
-// Put stores data at path (replacing any existing file).
-func (t *Tree) Put(path string, data []byte) {
-	t.files[Clean(path)] = &entry{data: data}
+// Put stores pl at path (replacing any existing file).
+func (t *Tree) Put(path string, pl Payload) {
+	t.files[Clean(path)] = pl
 }
 
 // Get returns the payload at path.
-func (t *Tree) Get(path string) ([]byte, bool) {
-	e, ok := t.files[Clean(path)]
-	if !ok {
-		return nil, false
-	}
-	return e.data, true
+func (t *Tree) Get(path string) (Payload, bool) {
+	pl, ok := t.files[Clean(path)]
+	return pl, ok
 }
 
 // Size returns the stored size at path.
 func (t *Tree) Size(path string) (int64, bool) {
-	e, ok := t.files[Clean(path)]
+	pl, ok := t.files[Clean(path)]
 	if !ok {
 		return 0, false
 	}
-	return int64(len(e.data)), true
+	return pl.Size(), true
 }
 
 // Remove deletes path, reporting whether it existed.
@@ -125,8 +121,8 @@ func (t *Tree) List(prefix string) []string {
 // TotalBytes returns the sum of stored file sizes.
 func (t *Tree) TotalBytes() int64 {
 	var n int64
-	for _, e := range t.files {
-		n += int64(len(e.data))
+	for _, pl := range t.files {
+		n += pl.Size()
 	}
 	return n
 }

@@ -28,18 +28,18 @@ func TestTreePutGetRemove(t *testing.T) {
 	if _, ok := tr.Get("/x"); ok {
 		t.Fatal("empty tree should miss")
 	}
-	tr.Put("/a/b", []byte("hello"))
+	tr.Put("/a/b", BytesPayload([]byte("hello")))
 	got, ok := tr.Get("a/b") // equivalent path spelling
-	if !ok || string(got) != "hello" {
-		t.Fatalf("Get = %q, %v", got, ok)
+	if !ok || string(got.Bytes()) != "hello" {
+		t.Fatalf("Get = %q, %v", got.Bytes(), ok)
 	}
 	if sz, ok := tr.Size("/a/b"); !ok || sz != 5 {
 		t.Fatalf("Size = %d, %v", sz, ok)
 	}
-	tr.Put("/a/b", []byte("replaced"))
+	tr.Put("/a/b", BytesPayload([]byte("replaced")))
 	got, _ = tr.Get("/a/b")
-	if string(got) != "replaced" {
-		t.Fatalf("replace failed: %q", got)
+	if string(got.Bytes()) != "replaced" {
+		t.Fatalf("replace failed: %q", got.Bytes())
 	}
 	if !tr.Remove("/a/b") {
 		t.Fatal("remove existing returned false")
@@ -51,9 +51,9 @@ func TestTreePutGetRemove(t *testing.T) {
 
 func TestTreeListAndTotals(t *testing.T) {
 	tr := NewTree()
-	tr.Put("/d/1", make([]byte, 10))
-	tr.Put("/d/2", make([]byte, 20))
-	tr.Put("/e/3", make([]byte, 30))
+	tr.Put("/d/1", SizeOnly(10))
+	tr.Put("/d/2", BytesPayload(make([]byte, 20)))
+	tr.Put("/e/3", SizeOnly(30))
 	got := tr.List("/d")
 	if len(got) != 2 || got[0] != "/d/1" || got[1] != "/d/2" {
 		t.Fatalf("List(/d) = %v", got)
@@ -66,19 +66,24 @@ func TestTreeListAndTotals(t *testing.T) {
 	}
 }
 
-// Property: whatever bytes are Put are Get back unchanged, and Size agrees.
+// Property: whatever bytes are Put are Get back unchanged (same backing
+// buffer — zero-copy), and Size agrees.
 func TestTreeRoundTripProperty(t *testing.T) {
 	f := func(path string, data []byte) bool {
 		tr := NewTree()
-		tr.Put(path, data)
+		tr.Put(path, BytesPayload(data))
 		got, ok := tr.Get(path)
-		if !ok || len(got) != len(data) {
+		if !ok || got.Size() != int64(len(data)) {
 			return false
 		}
+		b := got.Bytes()
 		for i := range data {
-			if got[i] != data[i] {
+			if b[i] != data[i] {
 				return false
 			}
+		}
+		if len(data) > 0 && &b[0] != &data[0] {
+			return false // payload must alias, not copy
 		}
 		sz, ok := tr.Size(path)
 		return ok && sz == int64(len(data))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 	"repro/internal/xfs"
 )
 
@@ -21,7 +22,7 @@ func TestCoarseCouplingMatchesDAGChain(t *testing.T) {
 	model := models.Model{Name: "TINY", Atoms: 2_000, StepsPerSecond: 10_000, Stride: 50}
 	const frames = 24
 	freq := model.DefaultFrequency()
-	payload := make([]byte, model.FrameBytes())
+	payload := vfs.BytesPayload(make([]byte, model.FrameBytes()))
 
 	// Ground truth: an explicit DAG chain on one node with XFS.
 	e := sim.NewEngine(1)

@@ -29,7 +29,7 @@ func (f *FS) CreateFile(p *sim.Proc, path string) (vfs.Handle, error) {
 	p.Sleep(f.params.MetaLatency)
 	f.node.SSD.Write(p, f.params.JournalBytes) // inode create/truncate journal
 	path = vfs.Clean(path)
-	f.tree.Put(path, nil)
+	f.tree.Put(path, vfs.Payload{})
 	return &handle{fs: f, path: path}, nil
 }
 
@@ -56,15 +56,18 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("xfs: %s: negative range (%d, %d)", h.path, off, n)
 	}
-	data, ok := h.fs.tree.Get(h.path)
+	pl, ok := h.fs.tree.Get(h.path)
 	if !ok {
 		return nil, vfs.PathError("read", h.path, vfs.ErrNotExist)
 	}
-	if off+n > int64(len(data)) {
-		return nil, fmt.Errorf("xfs: %s: read [%d,%d) past EOF %d", h.path, off, off+n, len(data))
+	if off+n > pl.Size() {
+		return nil, fmt.Errorf("xfs: %s: read [%d,%d) past EOF %d", h.path, off, off+n, pl.Size())
+	}
+	if !pl.HasBytes() {
+		return nil, vfs.PathError("read", h.path, vfs.ErrSizeOnly)
 	}
 	h.fs.node.SSD.Read(p, n)
-	return data[off : off+n], nil
+	return pl.Bytes()[off : off+n], nil
 }
 
 // WriteAt charges the device for the range plus a journal commit.
@@ -76,12 +79,12 @@ func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 	if !ok {
 		return vfs.PathError("write", h.path, vfs.ErrNotExist)
 	}
-	if off < 0 || off > int64(len(cur)) {
-		return fmt.Errorf("xfs: %s: write at %d would leave a hole (size %d)", h.path, off, len(cur))
+	if off < 0 || off > cur.Size() {
+		return fmt.Errorf("xfs: %s: write at %d would leave a hole (size %d)", h.path, off, cur.Size())
 	}
 	h.fs.node.SSD.Write(p, h.fs.params.JournalBytes)
 	h.fs.node.SSD.Write(p, int64(len(data)))
-	h.fs.tree.Put(h.path, vfs.SpliceRange(cur, off, data))
+	h.fs.tree.Put(h.path, vfs.SplicePayload(cur, off, vfs.BytesPayload(data)))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package xfs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -85,8 +86,8 @@ func TestHandleVisibleToWholeFileAPI(t *testing.T) {
 		_ = h.Append(p, []byte("via-handle"))
 		_ = h.Close(p)
 		got, err := f.ReadFile(p, "/mixed")
-		if err != nil || string(got) != "via-handle" {
-			t.Errorf("whole-file read = %q, %v", got, err)
+		if err != nil || string(got.Bytes()) != "via-handle" {
+			t.Errorf("whole-file read = %q, %v", got.Bytes(), err)
 		}
 	})
 	if err := e.Run(); err != nil {
@@ -125,23 +126,47 @@ func TestHandleAppendProperty(t *testing.T) {
 	}
 }
 
-func TestSpliceRange(t *testing.T) {
-	got := vfs.SpliceRange([]byte("abcdef"), 2, []byte("XY"))
-	if string(got) != "abXYef" {
-		t.Fatalf("splice mid = %q", got)
+func TestSplicePayload(t *testing.T) {
+	got := vfs.SplicePayload(vfs.BytesPayload([]byte("abcdef")), 2, vfs.BytesPayload([]byte("XY")))
+	if string(got.Bytes()) != "abXYef" {
+		t.Fatalf("splice mid = %q", got.Bytes())
 	}
-	got = vfs.SpliceRange([]byte("abc"), 3, []byte("def"))
-	if string(got) != "abcdef" {
-		t.Fatalf("splice extend = %q", got)
+	got = vfs.SplicePayload(vfs.BytesPayload([]byte("abc")), 3, vfs.BytesPayload([]byte("def")))
+	if string(got.Bytes()) != "abcdef" {
+		t.Fatalf("splice extend = %q", got.Bytes())
 	}
-	got = vfs.SpliceRange(nil, 0, []byte("x"))
-	if string(got) != "x" {
-		t.Fatalf("splice empty = %q", got)
+	got = vfs.SplicePayload(vfs.Payload{}, 0, vfs.BytesPayload([]byte("x")))
+	if string(got.Bytes()) != "x" {
+		t.Fatalf("splice empty = %q", got.Bytes())
 	}
 	// Original must be untouched (copy-on-write).
 	orig := []byte("abcdef")
-	_ = vfs.SpliceRange(orig, 0, []byte("ZZZZZZ"))
+	_ = vfs.SplicePayload(vfs.BytesPayload(orig), 0, vfs.BytesPayload([]byte("ZZZZZZ")))
 	if string(orig) != "abcdef" {
-		t.Fatal("SpliceRange mutated its input")
+		t.Fatal("SplicePayload mutated its input")
+	}
+	// A size-only side degrades the result to size-only of the right size.
+	got = vfs.SplicePayload(vfs.SizeOnly(10), 8, vfs.BytesPayload([]byte("abcd")))
+	if got.HasBytes() || got.Size() != 12 {
+		t.Fatalf("size-only splice = hasBytes=%v size=%d", got.HasBytes(), got.Size())
+	}
+}
+
+func TestHandleSizeOnlyRangeRead(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := newTestFS(e)
+	e.Spawn("io", func(p *sim.Proc) {
+		_ = f.WriteFile(p, "/so", vfs.SizeOnly(64))
+		h, err := f.Open(p, "/so")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := h.ReadAt(p, 0, 8); !errors.Is(err, vfs.ErrSizeOnly) {
+			t.Errorf("ReadAt on size-only file: %v, want ErrSizeOnly", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

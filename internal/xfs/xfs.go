@@ -55,23 +55,24 @@ func (f *FS) Node() *cluster.Node { return f.node }
 func (f *FS) Tree() *vfs.Tree { return f.tree }
 
 // WriteFile implements vfs.FS: journal commit + data write on the local SSD.
-func (f *FS) WriteFile(p *sim.Proc, path string, data []byte) error {
+// The payload is stored by reference, never copied.
+func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Sleep(f.params.MetaLatency)
 	f.node.SSD.Write(p, f.params.JournalBytes)
-	f.node.SSD.Write(p, int64(len(data)))
-	f.tree.Put(path, data)
+	f.node.SSD.Write(p, pl.Size())
+	f.tree.Put(path, pl)
 	return nil
 }
 
 // ReadFile implements vfs.FS: data read from the local SSD.
-func (f *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+func (f *FS) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	p.Sleep(f.params.MetaLatency)
-	data, ok := f.tree.Get(path)
+	pl, ok := f.tree.Get(path)
 	if !ok {
-		return nil, vfs.PathError("read", path, vfs.ErrNotExist)
+		return vfs.Payload{}, vfs.PathError("read", path, vfs.ErrNotExist)
 	}
-	f.node.SSD.Read(p, int64(len(data)))
-	return data, nil
+	f.node.SSD.Read(p, pl.Size())
+	return pl, nil
 }
 
 // Stat implements vfs.FS: metadata only, no data transfer.

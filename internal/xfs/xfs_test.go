@@ -21,15 +21,15 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	f := newTestFS(e)
 	payload := []byte("frame-bytes")
 	e.Spawn("io", func(p *sim.Proc) {
-		if err := f.WriteFile(p, "/frames/f0", payload); err != nil {
+		if err := f.WriteFile(p, "/frames/f0", vfs.BytesPayload(payload)); err != nil {
 			t.Errorf("write: %v", err)
 		}
 		got, err := f.ReadFile(p, "/frames/f0")
 		if err != nil {
 			t.Errorf("read: %v", err)
 		}
-		if !bytes.Equal(got, payload) {
-			t.Errorf("read %q, want %q", got, payload)
+		if !bytes.Equal(got.Bytes(), payload) {
+			t.Errorf("read %q, want %q", got.Bytes(), payload)
 		}
 		fi, err := f.Stat(p, "/frames/f0")
 		if err != nil || fi.Size != int64(len(payload)) {
@@ -64,7 +64,7 @@ func TestUnlinkRemoves(t *testing.T) {
 	e := sim.NewEngine(1)
 	f := newTestFS(e)
 	e.Spawn("io", func(p *sim.Proc) {
-		_ = f.WriteFile(p, "/a", []byte("x"))
+		_ = f.WriteFile(p, "/a", vfs.BytesPayload([]byte("x")))
 		if err := f.Unlink(p, "/a"); err != nil {
 			t.Errorf("unlink: %v", err)
 		}
@@ -81,7 +81,7 @@ func TestWriteChargesJournalAndData(t *testing.T) {
 	e := sim.NewEngine(1)
 	f := newTestFS(e)
 	e.Spawn("io", func(p *sim.Proc) {
-		_ = f.WriteFile(p, "/a", make([]byte, 1<<20))
+		_ = f.WriteFile(p, "/a", vfs.SizeOnly(1<<20))
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -101,10 +101,10 @@ func TestWriteTimeGrowsWithSize(t *testing.T) {
 	var small, large sim.Time
 	e.Spawn("io", func(p *sim.Proc) {
 		t0 := p.Now()
-		_ = f.WriteFile(p, "/s", make([]byte, 1<<10))
+		_ = f.WriteFile(p, "/s", vfs.SizeOnly(1<<10))
 		small = p.Now() - t0
 		t1 := p.Now()
-		_ = f.WriteFile(p, "/l", make([]byte, 1<<24))
+		_ = f.WriteFile(p, "/l", vfs.SizeOnly(1<<24))
 		large = p.Now() - t1
 	})
 	if err := e.Run(); err != nil {
@@ -124,12 +124,12 @@ func TestRoundTripProperty(t *testing.T) {
 		e.Spawn("io", func(p *sim.Proc) {
 			for i, b := range blobs {
 				path := vfs.Clean(string(rune('a'+i%26)) + "/f")
-				if err := f.WriteFile(p, path, b); err != nil {
+				if err := f.WriteFile(p, path, vfs.BytesPayload(b)); err != nil {
 					ok = false
 					return
 				}
 				got, err := f.ReadFile(p, path)
-				if err != nil || !bytes.Equal(got, b) {
+				if err != nil || !bytes.Equal(got.Bytes(), b) {
 					ok = false
 					return
 				}

@@ -20,4 +20,9 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./... =="
+# One iteration of every benchmark: catches benchmarks that panic or hang
+# without paying measurement time. Full measured runs live in bench.sh.
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "verify.sh: all gates passed"
