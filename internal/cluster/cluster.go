@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -79,11 +80,15 @@ type SSD struct {
 
 	// degrade multiplies service times (fault injection; 1 = healthy).
 	degrade float64
+	// failed makes every operation return ErrDeviceFailed (fault
+	// injection; repaired devices serve again).
+	failed bool
 
 	BytesRead    int64
 	BytesWritten int64
 	Reads        int64
 	Writes       int64
+	FailedOps    int64
 }
 
 // Degrade multiplies all subsequent service times by factor (>= 1).
@@ -95,26 +100,60 @@ func (s *SSD) Degrade(factor float64) {
 	s.degrade = factor
 }
 
-// Read charges the device for an n-byte read and returns time spent.
-func (s *SSD) Read(p *sim.Proc, n int64) time.Duration {
+// DegradeFactor returns the current service-time multiplier (1 = healthy).
+func (s *SSD) DegradeFactor() float64 {
+	if s.degrade < 1 {
+		return 1
+	}
+	return s.degrade
+}
+
+// Fail makes every subsequent operation return an error wrapping
+// faults.ErrDeviceFailed until Repair is called.
+func (s *SSD) Fail() { s.failed = true }
+
+// Repair returns a failed device to service.
+func (s *SSD) Repair() { s.failed = false }
+
+// Failed reports whether the device is currently failed.
+func (s *SSD) Failed() bool { return s.failed }
+
+// fail charges the caller the device's fixed latency (the time a request
+// takes to come back with EIO) and returns the wrapped sentinel.
+func (s *SSD) fail(p *sim.Proc, op string, lat time.Duration) error {
+	s.FailedOps++
+	p.Sleep(lat)
+	return fmt.Errorf("cluster: %s %s: %w", s.dev.Name(), op, faults.ErrDeviceFailed)
+}
+
+// Read charges the device for an n-byte read and returns time spent. A
+// failed device returns an error wrapping faults.ErrDeviceFailed instead.
+func (s *SSD) Read(p *sim.Proc, n int64) (time.Duration, error) {
 	if n < 0 {
 		panic("cluster: negative read size")
+	}
+	if s.failed {
+		return 0, s.fail(p, "read", s.spec.ReadLatency)
 	}
 	s.Reads++
 	s.BytesRead += n
 	service := s.scale(s.spec.ReadLatency + bwTime(n, s.spec.ReadBandwidth))
-	return s.dev.Use(p, service)
+	return s.dev.Use(p, service), nil
 }
 
-// Write charges the device for an n-byte write and returns time spent.
-func (s *SSD) Write(p *sim.Proc, n int64) time.Duration {
+// Write charges the device for an n-byte write and returns time spent. A
+// failed device returns an error wrapping faults.ErrDeviceFailed instead.
+func (s *SSD) Write(p *sim.Proc, n int64) (time.Duration, error) {
 	if n < 0 {
 		panic("cluster: negative write size")
+	}
+	if s.failed {
+		return 0, s.fail(p, "write", s.spec.WriteLatency)
 	}
 	s.Writes++
 	s.BytesWritten += n
 	service := s.scale(s.spec.WriteLatency + bwTime(n, s.spec.WriteBandwidth))
-	return s.dev.Use(p, service)
+	return s.dev.Use(p, service), nil
 }
 
 // Device exposes the underlying queued resource (for utilization stats).
@@ -136,6 +175,9 @@ type Node struct {
 	// nicDegrade multiplies this NIC's wire service times (fault
 	// injection; values <= 1 mean healthy).
 	nicDegrade float64
+	// linkDownUntil stalls transfers touching this node until the given
+	// virtual time (fault injection; zero means the link is up).
+	linkDownUntil sim.Time
 
 	cl *Cluster
 }
@@ -147,6 +189,41 @@ func (n *Node) DegradeNIC(factor float64) {
 		panic("cluster: NIC degradation factor < 1")
 	}
 	n.nicDegrade = factor
+}
+
+// NICDegradeFactor returns the current wire-time multiplier (1 = healthy).
+func (n *Node) NICDegradeFactor() float64 {
+	if n.nicDegrade < 1 {
+		return 1
+	}
+	return n.nicDegrade
+}
+
+// FailLinkUntil takes the node's link down until the given virtual time.
+// Transfers touching the node during the outage stall until it ends — the
+// InfiniBand-style retransmission view: the fabric hides the loss from the
+// application, which only sees the lost time (recorded in LinkStalls /
+// LinkStallTime on the cluster).
+func (n *Node) FailLinkUntil(t sim.Time) {
+	if t > n.linkDownUntil {
+		n.linkDownUntil = t
+	}
+}
+
+// LinkDown reports whether the node's link is down at the current time.
+func (n *Node) LinkDown() bool { return n.cl.e.Now() < n.linkDownUntil }
+
+// awaitLink stalls p until the node's link is back up, charging the wait to
+// the cluster's recovery accounting. Healthy links cost one comparison.
+func (n *Node) awaitLink(p *sim.Proc) {
+	if n.linkDownUntil == 0 {
+		return
+	}
+	if wait := n.linkDownUntil - p.Now(); wait > 0 {
+		n.cl.LinkStalls++
+		n.cl.LinkStallTime += wait
+		p.Sleep(wait)
+	}
 }
 
 func (n *Node) nicScale(d time.Duration) time.Duration {
@@ -170,6 +247,11 @@ type Cluster struct {
 
 	BytesOnWire int64
 	Transfers   int64
+
+	// LinkStalls / LinkStallTime account transfers that had to wait out a
+	// link outage (fault injection; both zero on healthy fabrics).
+	LinkStalls    int64
+	LinkStallTime time.Duration
 }
 
 // New builds a cluster on the given engine.
@@ -231,6 +313,11 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
 		return p.Now() - start
 	}
 	c.BytesOnWire += n
+	// A link outage at either endpoint stalls the transfer until the link
+	// returns: the fabric retransmits below the application, which sees
+	// only the lost time.
+	src.awaitLink(p)
+	dst.awaitLink(p)
 	// The sender serializes the message onto the wire in segments (the
 	// fabric is packet-switched: a small control message never waits for a
 	// whole multi-megabyte transfer ahead of it, only for the segment in

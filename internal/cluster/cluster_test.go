@@ -29,7 +29,7 @@ func TestSSDWriteTiming(t *testing.T) {
 	c := New(e, testSpec(1))
 	var took time.Duration
 	e.Spawn("w", func(p *sim.Proc) {
-		took = c.Node(0).SSD.Write(p, 1_000_000) // 1 MB at 1 GB/s = 1 ms
+		took, _ = c.Node(0).SSD.Write(p, 1_000_000) // 1 MB at 1 GB/s = 1 ms
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -180,9 +180,9 @@ func TestSSDDegradeSlowsService(t *testing.T) {
 	c := New(e, testSpec(1))
 	var healthy, degraded time.Duration
 	e.Spawn("w", func(p *sim.Proc) {
-		healthy = c.Node(0).SSD.Write(p, 1_000_000)
+		healthy, _ = c.Node(0).SSD.Write(p, 1_000_000)
 		c.Node(0).SSD.Degrade(4)
-		degraded = c.Node(0).SSD.Write(p, 1_000_000)
+		degraded, _ = c.Node(0).SSD.Write(p, 1_000_000)
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)

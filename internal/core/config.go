@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/dyad"
+	"repro/internal/faults"
 	"repro/internal/models"
 )
 
@@ -118,6 +119,22 @@ type Config struct {
 	// producer node) by that factor — fault injection for straggler
 	// studies.
 	StragglerFactor float64
+	// Faults, when non-nil and enabled, derives a deterministic fault plan
+	// from the spec and the run seed and injects it at scheduled virtual
+	// times: device stalls/failures, link degradation/outages, DYAD broker
+	// crashes, Lustre server outages (DESIGN.md §3d). Nil or a disabled
+	// spec adds zero cost.
+	Faults *faults.Spec
+	// LustreFallback deploys a shared Lustre mirror next to a DYAD run:
+	// producers write a second copy there and degraded consumers read it
+	// when a producer's broker and staging device are both unreachable.
+	// DYAD-only; adds the mirror's write cost to the production path.
+	LustreFallback bool
+	// MaxEvents / MaxVirtualTime arm the engine watchdog. Zero means
+	// unlimited on healthy runs; fault-injected runs get generous defaults
+	// so a livelocked recovery loop aborts instead of hanging the batch.
+	MaxEvents      int64
+	MaxVirtualTime time.Duration
 	// Trace, when non-nil, receives one line per workflow event
 	// (frame produced/consumed) with virtual timestamps — an execution
 	// timeline for debugging runs.
@@ -175,6 +192,20 @@ func (c Config) Validate() error {
 		if c.Backend == XFS {
 			return fmt.Errorf("core: XFS cannot move data between nodes (paper §III-B); use SingleNode")
 		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if c.LustreFallback && c.Backend != DYAD {
+		return fmt.Errorf("core: LustreFallback is a DYAD degraded-mode option; backend is %s", c.Backend)
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("core: MaxEvents %d < 0", c.MaxEvents)
+	}
+	if c.MaxVirtualTime < 0 {
+		return fmt.Errorf("core: MaxVirtualTime %v < 0", c.MaxVirtualTime)
 	}
 	return nil
 }

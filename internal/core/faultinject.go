@@ -1,0 +1,100 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+// scheduleFaults derives the run's concrete fault plan from Config.Faults
+// and the run seed, and schedules each event's injection at its virtual
+// time. Called once from newRig, before Run, only when faults are enabled —
+// healthy runs never reach this code, keeping the empty-plan timeline
+// byte-identical to a build without fault injection.
+func (r *rig) scheduleFaults() {
+	spec := *r.cfg.Faults
+	if spec.Horizon <= 0 {
+		// Default window: the nominal production span of the run.
+		spec.Horizon = r.cfg.frequency * time.Duration(r.cfg.Frames)
+	}
+	osts := 1
+	if r.lfs != nil {
+		osts = r.lfs.OSTs()
+	}
+	plan := spec.Generate(r.cfg.Seed, r.cfg.ComputeNodes(), osts)
+	if plan.Empty() {
+		return
+	}
+	r.failDepth = make(map[*cluster.SSD]int)
+	for _, ev := range plan.Events {
+		ev := ev
+		r.eng.After(ev.At, func() { r.applyFault(ev) })
+	}
+}
+
+// computeNode maps a fault target onto the run's compute nodes.
+func (r *rig) computeNode(target int) *cluster.Node {
+	return r.cl.Node(target % r.cfg.ComputeNodes())
+}
+
+// applyFault injects one fault event, scheduling its repair where the kind
+// has one. Events whose kind does not apply to the run's backend (a broker
+// crash in an XFS run) are dropped without counting as injected.
+func (r *rig) applyFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.DeviceStall:
+		ssd := r.computeNode(ev.Target).SSD
+		ssd.Degrade(ssd.DegradeFactor() * ev.Factor)
+		r.eng.After(ev.For, func() {
+			// Divide the event's factor back out so overlapping stalls and a
+			// configured StragglerFactor survive the repair.
+			next := ssd.DegradeFactor() / ev.Factor
+			if next < 1 {
+				next = 1
+			}
+			ssd.Degrade(next)
+		})
+	case faults.DeviceFail:
+		ssd := r.computeNode(ev.Target).SSD
+		r.failDepth[ssd]++
+		ssd.Fail()
+		r.eng.After(ev.For, func() {
+			// Overlapping failure windows: repair only when the last ends.
+			r.failDepth[ssd]--
+			if r.failDepth[ssd] == 0 {
+				ssd.Repair()
+			}
+		})
+	case faults.LinkDegrade:
+		n := r.computeNode(ev.Target)
+		n.DegradeNIC(n.NICDegradeFactor() * ev.Factor)
+		r.eng.After(ev.For, func() {
+			next := n.NICDegradeFactor() / ev.Factor
+			if next < 1 {
+				next = 1
+			}
+			n.DegradeNIC(next)
+		})
+	case faults.LinkOutage:
+		r.computeNode(ev.Target).FailLinkUntil(r.eng.Now() + ev.For)
+	case faults.BrokerCrash:
+		if r.dy == nil {
+			return
+		}
+		r.dy.Broker(r.computeNode(ev.Target)).Crash(ev.For)
+	case faults.OSTOutage:
+		if r.lfs == nil {
+			return
+		}
+		r.lfs.FailOST(ev.Target, ev.For)
+	case faults.MDSOutage:
+		if r.lfs == nil {
+			return
+		}
+		r.lfs.FailMDS(ev.For)
+	default:
+		return
+	}
+	r.recovery.Injected++
+}

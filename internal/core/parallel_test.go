@@ -30,8 +30,8 @@ func canonical(results []*Result) string {
 			fmt.Fprintf(&sb, "[%d] <nil>\n", i)
 			continue
 		}
-		fmt.Fprintf(&sb, "[%d] %s prod=%v cons=%v makespan=%v frames=%d bytes=%d\n",
-			i, r.Cfg.Label(), r.Producer, r.Consumer, r.Makespan, r.FramesRead, r.BytesRead)
+		fmt.Fprintf(&sb, "[%d] %s prod=%v cons=%v makespan=%v frames=%d bytes=%d recovery=%v\n",
+			i, r.Cfg.Label(), r.Producer, r.Consumer, r.Makespan, r.FramesRead, r.BytesRead, r.Recovery)
 		for _, p := range r.ProducerProfiles {
 			p.Render(&sb)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/caliper"
+	"repro/internal/faults"
 	"repro/internal/stats"
 )
 
@@ -46,6 +47,11 @@ type Result struct {
 	FramesRead int
 	BytesRead  int64
 
+	// Recovery records the run's fault-injection and recovery activity
+	// (timeouts, retries, failovers, degraded-mode traffic). All zero on
+	// healthy runs.
+	Recovery faults.Metrics
+
 	// ProducerProfiles / ConsumerProfiles hold per-pair Caliper profiles
 	// when Config.KeepProfiles is set.
 	ProducerProfiles []*caliper.Profile
@@ -72,6 +78,15 @@ func (r *rig) collect() (*Result, error) {
 		FramesRead: r.framesRead,
 		BytesRead:  r.bytesRead,
 	}
+	res.Recovery = r.recovery
+	if r.dy != nil {
+		res.Recovery.Add(r.dy.Recovery)
+	}
+	if r.lfs != nil {
+		res.Recovery.Add(r.lfs.Recovery)
+	}
+	res.Recovery.LinkStalls += r.cl.LinkStalls
+	res.Recovery.RecoveryTime += r.cl.LinkStallTime
 	for _, prof := range r.prodProfiles {
 		t := SplitProducer(r.cfg.Backend, prof)
 		res.Producer.Movement += t.Movement

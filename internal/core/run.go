@@ -7,6 +7,7 @@ import (
 	"repro/internal/caliper"
 	"repro/internal/cluster"
 	"repro/internal/dyad"
+	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/lustre"
 	"repro/internal/mpi"
@@ -52,6 +53,12 @@ type rig struct {
 	decodeErrs   []error
 
 	consumersDone int
+
+	// recovery counts injected fault events (backends record their own
+	// recovery activity; collect merges everything into Result.Recovery).
+	recovery faults.Metrics
+	// failDepth tracks overlapping DeviceFail windows per device.
+	failDepth map[*cluster.SSD]int
 }
 
 // cfgResolved caches derived quantities next to the user config.
@@ -79,7 +86,7 @@ func newRig(cfg Config) *rig {
 	}
 	eng.Prealloc(procs, procs+8)
 	nodes := cfg.ComputeNodes()
-	if cfg.Backend == Lustre {
+	if cfg.Backend == Lustre || cfg.LustreFallback {
 		nodes += lustreServers
 	}
 	spec := cluster.CoronaProfile(nodes)
@@ -95,16 +102,7 @@ func newRig(cfg Config) *rig {
 		})
 	}
 
-	switch cfg.Backend {
-	case DYAD:
-		params := dyad.DefaultParams()
-		if cfg.DYADOverride != nil {
-			params = *cfg.DYADOverride
-		}
-		r.dy = dyad.New(cl, cl.Node(0), params)
-	case XFS:
-		r.xf = xfs.New(cl.Node(0), xfs.DefaultParams())
-	case Lustre:
+	buildLustre := func() {
 		params := lustre.DefaultParams()
 		if !cfg.LustreNoise {
 			params.BackgroundLoad = 0
@@ -117,6 +115,26 @@ func newRig(cfg Config) *rig {
 		}
 		r.lfs = lustre.New(cl, mds, osts, params)
 		r.lfs.StartNoise()
+	}
+
+	switch cfg.Backend {
+	case DYAD:
+		params := dyad.DefaultParams()
+		if cfg.DYADOverride != nil {
+			params = *cfg.DYADOverride
+		}
+		r.dy = dyad.New(cl, cl.Node(0), params)
+		if cfg.LustreFallback {
+			// Deploy the shared mirror next to DYAD; degraded consumers read
+			// it when a producer's broker and staging device are both gone.
+			buildLustre()
+			lfs := r.lfs
+			r.dy.SetFallback(func(n *cluster.Node) vfs.FS { return lfs.Client(n) })
+		}
+	case XFS:
+		r.xf = xfs.New(cl.Node(0), xfs.DefaultParams())
+	case Lustre:
+		buildLustre()
 	}
 
 	if cfg.StragglerFactor > 1 {
@@ -132,6 +150,24 @@ func newRig(cfg Config) *rig {
 		// pairs. Cost models depend only on the size, so sweeps move
 		// "frames" through the full data path with zero bytes allocated.
 		r.payload = vfs.SizeOnly(rc.frameSize)
+	}
+
+	// Watchdog: unlimited on healthy runs unless configured; fault-injected
+	// runs get generous defaults so a livelocked recovery loop aborts with
+	// sim.ErrWatchdog instead of hanging the batch.
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	maxEvents, maxTime := cfg.MaxEvents, sim.Time(cfg.MaxVirtualTime)
+	if faultsOn {
+		if maxEvents == 0 {
+			maxEvents = int64(cfg.Pairs)*int64(cfg.Frames)*100_000 + 10_000_000
+		}
+		if maxTime == 0 {
+			maxTime = 4*rc.frequency*time.Duration(cfg.Frames) + 10*time.Minute
+		}
+	}
+	eng.SetWatchdog(maxEvents, maxTime)
+	if faultsOn {
+		r.scheduleFaults()
 	}
 	return r
 }
@@ -233,11 +269,16 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 		path := pairPath(pair, f)
 		switch r.cfg.Backend {
 		case DYAD:
-			client.Produce(p, ann, path, data)
+			if err := client.Produce(p, ann, path, data); err != nil {
+				// Panicking with the error value aborts the run; the kernel
+				// wraps it with %w so RunMany callers can errors.Is against
+				// the underlying sentinel (faults.ErrDeviceFailed, ...).
+				panic(fmt.Errorf("core: producer %s: %w", path, err))
+			}
 		default:
 			ann.Begin("write_single_buf")
 			if err := fs.WriteFile(p, path, data); err != nil {
-				panic(fmt.Sprintf("core: producer write %s: %v", path, err))
+				panic(fmt.Errorf("core: producer write %s: %w", path, err))
 			}
 			ann.End("write_single_buf")
 		}
@@ -278,12 +319,16 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		var data vfs.Payload
 		switch r.cfg.Backend {
 		case DYAD:
-			data = client.Consume(p, ann, pairPath(pair, f))
+			got, err := client.Consume(p, ann, pairPath(pair, f))
+			if err != nil {
+				panic(fmt.Errorf("core: consumer %s: %w", pairPath(pair, f), err))
+			}
+			data = got
 		default:
 			ann.Begin("read_single_buf")
 			got, err := fs.ReadFile(p, pairPath(pair, f))
 			if err != nil {
-				panic(fmt.Sprintf("core: consumer read: %v", err))
+				panic(fmt.Errorf("core: consumer read %s: %w", pairPath(pair, f), err))
 			}
 			ann.End("read_single_buf")
 			data = got

@@ -22,11 +22,13 @@ package dyad
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/caliper"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/kvs"
 	"repro/internal/locks"
 	"repro/internal/sim"
@@ -58,6 +60,16 @@ type Params struct {
 	// namespace registration, the production-side overhead the paper
 	// measures against raw XFS.
 	KVS kvs.Params
+
+	// FetchTimeout is the client's deadline on a fetch request to a remote
+	// broker; requests against a crashed broker come back empty after this
+	// long. Zero defaults to 200ms.
+	FetchTimeout time.Duration
+	// FetchRetry is the capped-exponential backoff policy applied after
+	// fetch timeouts; once its retries are exhausted the client degrades to
+	// a direct read of the producer's staging area (DESIGN.md §3d). A zero
+	// policy defaults to {Base: 50ms, Cap: 800ms, Max: 3}.
+	FetchRetry faults.Backoff
 
 	// Ablation switches (all false in the real system). They disable, one
 	// by one, the three mechanisms Figure 2 of the paper credits for
@@ -91,20 +103,27 @@ func DefaultParams() Params {
 		CacheWriteBandwidth: 8e9,
 		Locks:               locks.DefaultParams(),
 		KVS:                 k,
+		FetchTimeout:        200 * time.Millisecond,
+		FetchRetry:          faults.Backoff{Base: 50 * time.Millisecond, Cap: 800 * time.Millisecond, Max: 3},
 	}
 }
 
 // System is one DYAD deployment: a KVS for global metadata plus one broker
 // per participating node.
 type System struct {
-	cl      *cluster.Cluster
-	params  Params
-	kvs     *kvs.Store
-	brokers map[int]*Broker
+	cl       *cluster.Cluster
+	params   Params
+	kvs      *kvs.Store
+	brokers  map[int]*Broker
+	fallback func(*cluster.Node) vfs.FS
 
 	// Produced counts frames published; Fetched counts remote transfers.
 	Produced int64
 	Fetched  int64
+
+	// Recovery accumulates the run's fault-recovery activity (timeouts,
+	// retries, degraded reads); all zero on healthy runs.
+	Recovery faults.Metrics
 }
 
 // Broker is the per-node DYAD service: it owns the node's staging area,
@@ -116,6 +135,10 @@ type Broker struct {
 	cache   *vfs.Tree // RAM-backed consumer-side cache
 	srv     *sim.Resource
 	locks   *locks.Manager
+
+	// downUntil marks the broker crashed until the given virtual time
+	// (fault injection; zero means it has never crashed).
+	downUntil sim.Time
 }
 
 // meta is the KVS metadata record for a produced file.
@@ -140,6 +163,14 @@ func decodeMeta(b []byte) meta {
 
 // New deploys DYAD over the cluster with its KVS hosted on kvsNode.
 func New(cl *cluster.Cluster, kvsNode *cluster.Node, params Params) *System {
+	// Recovery knobs only matter when a fault actually lands, so defaulting
+	// them here cannot change healthy-run timelines.
+	if params.FetchTimeout <= 0 {
+		params.FetchTimeout = 200 * time.Millisecond
+	}
+	if params.FetchRetry == (faults.Backoff{}) {
+		params.FetchRetry = faults.Backoff{Base: 50 * time.Millisecond, Cap: 800 * time.Millisecond, Max: 3}
+	}
 	return &System{
 		cl:      cl,
 		params:  params,
@@ -150,6 +181,17 @@ func New(cl *cluster.Cluster, kvsNode *cluster.Node, params Params) *System {
 
 // KVS exposes the metadata store (for stats and tests).
 func (s *System) KVS() *kvs.Store { return s.kvs }
+
+// SetFallback installs a shared-filesystem mirror (Lustre in the paper's
+// deployments): Produce writes a second copy there, and a consumer that can
+// reach neither the owner's broker nor its staging device reads the mirror
+// instead of failing. The mount function returns the shared filesystem as
+// seen from one node, so each client pays its own network path to it. Nil
+// (the default) disables mirroring.
+func (s *System) SetFallback(mount func(*cluster.Node) vfs.FS) { s.fallback = mount }
+
+// HasFallback reports whether a shared-filesystem mirror is installed.
+func (s *System) HasFallback() bool { return s.fallback != nil }
 
 // Broker returns (creating on first use) the broker on node.
 func (s *System) Broker(node *cluster.Node) *Broker {
@@ -174,24 +216,41 @@ func (b *Broker) Staging() *xfs.FS { return b.staging }
 // Cache exposes a node's consumer-side cache (tests and invariants).
 func (b *Broker) Cache() *vfs.Tree { return b.cache }
 
+// Crash kills the broker for d of virtual time: its RAM cache is lost and
+// fetch requests against it time out until the restart. The NVMe staging
+// area survives the crash — which is what makes the degraded direct-staging
+// read possible.
+func (b *Broker) Crash(d time.Duration) {
+	if until := b.sys.cl.Engine().Now() + d; until > b.downUntil {
+		b.downUntil = until
+	}
+	b.cache = vfs.NewTree()
+	b.sys.Recovery.BrokerRestarts++
+}
+
+// Down reports whether the broker is currently crashed.
+func (b *Broker) Down() bool { return b.sys.cl.Engine().Now() < b.downUntil }
+
 // cachedRead charges a page-cache read of n bytes (or an NVMe read when
-// the burst-buffer ablation is active).
-func (b *Broker) cachedRead(p *sim.Proc, n int64) {
+// the burst-buffer ablation is active — the only way it can fail).
+func (b *Broker) cachedRead(p *sim.Proc, n int64) error {
 	if b.sys.params.NoBurstBuffer {
-		b.node.SSD.Read(p, n)
-		return
+		_, err := b.node.SSD.Read(p, n)
+		return err
 	}
 	p.Sleep(b.sys.params.PageCacheLatency + cost(n, b.sys.params.PageCacheBandwidth))
+	return nil
 }
 
 // cacheStore charges a RAM cache write of n bytes (or a full journaled
 // NVMe write when the burst-buffer ablation is active).
-func (b *Broker) cacheStore(p *sim.Proc, n int64) {
+func (b *Broker) cacheStore(p *sim.Proc, n int64) error {
 	if b.sys.params.NoBurstBuffer {
-		b.node.SSD.Write(p, n)
-		return
+		_, err := b.node.SSD.Write(p, n)
+		return err
 	}
 	p.Sleep(b.sys.params.PageCacheLatency + cost(n, b.sys.params.CacheWriteBandwidth))
+	return nil
 }
 
 func cost(n int64, bw float64) time.Duration {
@@ -207,6 +266,17 @@ type Client struct {
 	// via the blocking KVS watch; later consumptions in the same flow
 	// switch to the cheap lookup + file-lock protocol.
 	flowSynced map[string]bool
+	// fallback is the client's lazily mounted view of the shared mirror.
+	fallback vfs.FS
+}
+
+// fallbackFS returns the client's mount of the shared mirror, or nil when
+// no fallback is installed.
+func (c *Client) fallbackFS() vfs.FS {
+	if c.fallback == nil && c.sys.fallback != nil {
+		c.fallback = c.sys.fallback(c.broker.node)
+	}
+	return c.fallback
 }
 
 // NewClient creates a client for processes on node.
@@ -224,17 +294,31 @@ func (c *Client) Node() *cluster.Node { return c.broker.node }
 // Produce stages the payload under path in the node-local staging area and
 // publishes its metadata globally. The producer never blocks on any
 // consumer. Annotations: dyad_produce{dyad_prod_write, dyad_commit}.
-func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vfs.Payload) {
+//
+// A failed staging write (the node's device died under fault injection)
+// surfaces as an error wrapping faults.ErrDeviceFailed; the frame is then
+// not committed, so consumers never see metadata for data that was lost.
+func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vfs.Payload) error {
 	path = vfs.Clean(path)
 	defer ann.Region("dyad_produce")()
 
 	ann.Begin("dyad_prod_write")
+	var werr error
 	c.broker.locks.WithExclusive(p, path, func() {
-		if err := c.broker.staging.WriteFile(p, path, pl); err != nil {
-			panic(fmt.Sprintf("dyad: staging write %s: %v", path, err))
-		}
+		werr = c.broker.staging.WriteFile(p, path, pl)
 	})
 	ann.End("dyad_prod_write")
+	if werr != nil {
+		return fmt.Errorf("dyad: produce %s: %w", path, werr)
+	}
+
+	if fb := c.fallbackFS(); fb != nil {
+		// Shared-filesystem mirror for degraded consumers (opt-in; adds the
+		// mirror's full write cost to the production path).
+		if err := fb.WriteFile(p, path, pl); err != nil {
+			return fmt.Errorf("dyad: produce mirror %s: %w", path, err)
+		}
+	}
 
 	// Global metadata management: the extra production-side cost the paper
 	// measures as DYAD's ~1.4x production overhead versus raw XFS.
@@ -242,6 +326,7 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vf
 	c.sys.kvs.Commit(p, c.broker.node, path, encodeMeta(meta{owner: c.broker.node.ID, size: pl.Size()}))
 	c.sys.Produced++
 	ann.End("dyad_commit")
+	return nil
 }
 
 // Consume returns the payload published under path, blocking until it has
@@ -257,7 +342,13 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vf
 // Remote data moves via dyad_get_data (broker page-cache read + fabric
 // transfer) into the local RAM cache (dyad_cons_store) and is then read
 // back (read_single_buf).
-func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) vfs.Payload {
+//
+// Under fault injection the remote path survives broker crashes: fetch
+// requests time out (FetchTimeout), are retried under FetchRetry, and then
+// degrade to a direct read of the producer's staging area or the shared
+// fallback mirror. An error is returned only when every path is exhausted;
+// it wraps faults.ErrExhausted plus the final cause.
+func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.Payload, error) {
 	path = vfs.Clean(path)
 	defer ann.Region("dyad_consume")()
 
@@ -280,8 +371,8 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) vfs.P
 		ann.End("dyad_kvs_wait")
 		c.flowSynced[flow] = true
 	} else {
-		raw, ok := c.sys.kvs.Lookup(p, c.broker.node, path)
-		if !ok {
+		raw, err := c.sys.kvs.Lookup(p, c.broker.node, path)
+		if err != nil {
 			// Producer fell behind the overlap: fall back to the loose
 			// protocol for this file.
 			ann.Begin("dyad_kvs_wait")
@@ -304,43 +395,41 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) vfs.P
 		ann.Begin("dyad_get_data")
 		owner := c.sys.brokers[m.owner]
 		if owner == nil {
-			panic(fmt.Sprintf("dyad: no broker on node %d for %s", m.owner, path))
+			ann.End("dyad_get_data")
+			return vfs.Payload{}, fmt.Errorf("dyad: consume %s: no broker on node %d", path, m.owner)
 		}
-		// Request to the owner broker, broker-side page-cache read under a
-		// shared lock, then an RDMA-style pull back over the fabric.
-		c.sys.cl.Transfer(p, c.broker.node, owner.node, 192)
-		owner.srv.Use(p, c.sys.params.BrokerService)
-		owner.locks.WithShared(p, path, func() {
-			got, ok := owner.staging.Tree().Get(path)
-			if !ok {
-				panic(fmt.Sprintf("dyad: broker missing staged file %s", path))
-			}
-			owner.cachedRead(p, got.Size())
-			data = got
-		})
-		if c.sys.params.NoDirectTransfer {
-			// Ablation: store-and-forward through the management node
-			// instead of a direct producer->consumer pull.
-			relay := c.sys.kvs.Node()
-			c.sys.cl.Transfer(p, owner.node, relay, data.Size())
-			c.sys.cl.Transfer(p, relay, c.broker.node, data.Size())
-		} else {
-			c.sys.cl.Transfer(p, owner.node, c.broker.node, data.Size())
+		got, err := c.fetchRemote(p, owner, path)
+		if err != nil {
+			ann.End("dyad_get_data")
+			return vfs.Payload{}, err
 		}
+		data = got
 		c.sys.Fetched++
 		ann.End("dyad_get_data")
 
 		// --- Local cache store (dyad_cons_store) ---
 		ann.Begin("dyad_cons_store")
+		var serr error
 		c.broker.locks.WithExclusive(p, path, func() {
-			c.broker.cacheStore(p, data.Size())
-			c.broker.cache.Put(path, data)
+			serr = c.broker.cacheStore(p, data.Size())
+			if serr == nil {
+				c.broker.cache.Put(path, data)
+			}
 		})
 		ann.End("dyad_cons_store")
+		if serr != nil {
+			// Cache store failed (device gone under the burst-buffer
+			// ablation): keep going with the in-flight copy; the read
+			// below serves it without a local store.
+			c.sys.Recovery.DegradedReads++
+			c.sys.Recovery.DegradedBytes += data.Size()
+			return data, nil
+		}
 	}
 
 	// --- POSIX read from the node-local copy (read_single_buf) ---
 	ann.Begin("read_single_buf")
+	var rerr error
 	c.broker.locks.WithShared(p, path, func() {
 		var got vfs.Payload
 		var ok bool
@@ -348,15 +437,121 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) vfs.P
 			got, ok = c.broker.staging.Tree().Get(path)
 		} else {
 			got, ok = c.broker.cache.Get(path)
+			if !ok {
+				// The local broker crashed between store and read and lost
+				// its RAM cache; serve the in-flight copy.
+				got, ok = data, true
+			}
 		}
 		if !ok {
-			panic(fmt.Sprintf("dyad: local copy of %s vanished", path))
+			rerr = vfs.PathError("dyad read", path, vfs.ErrNotExist)
+			return
 		}
-		c.broker.cachedRead(p, got.Size())
+		if err := c.broker.cachedRead(p, got.Size()); err != nil {
+			rerr = err
+			return
+		}
 		data = got
 	})
 	ann.End("read_single_buf")
-	return data
+	if rerr != nil {
+		if fb := c.fallbackFS(); fb != nil && errors.Is(rerr, faults.ErrDeviceFailed) {
+			// Local copy unreadable (device failed): degrade to the shared
+			// mirror.
+			got, ferr := fb.ReadFile(p, path)
+			if ferr == nil {
+				c.sys.Recovery.DegradedReads++
+				c.sys.Recovery.DegradedBytes += got.Size()
+				return got, nil
+			}
+			rerr = fmt.Errorf("%w (fallback: %v)", rerr, ferr)
+		}
+		return vfs.Payload{}, fmt.Errorf("dyad: consume %s: %w: %w", path, faults.ErrExhausted, rerr)
+	}
+	return data, nil
+}
+
+// fetchRemote pulls path from the owner's broker, surviving broker crashes.
+// Requests against a down broker cost the fetch timeout and are retried
+// under the backoff policy; exhausted retries degrade to fetchDegraded.
+func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Payload, error) {
+	params := &c.sys.params
+	for attempt := 0; ; attempt++ {
+		// Request message to the owner broker.
+		c.sys.cl.Transfer(p, c.broker.node, owner.node, 192)
+		if !owner.Down() {
+			break
+		}
+		c.sys.Recovery.Timeouts++
+		c.sys.Recovery.RecoveryTime += params.FetchTimeout
+		p.Sleep(params.FetchTimeout)
+		if attempt >= params.FetchRetry.Max {
+			cause := fmt.Errorf("dyad: broker %s: %w: %w", owner.node.Name(), faults.ErrTimeout, faults.ErrBrokerDown)
+			return c.fetchDegraded(p, owner, path, cause)
+		}
+		c.sys.Recovery.Retries++
+		delay := params.FetchRetry.Delay(attempt)
+		c.sys.Recovery.RecoveryTime += delay
+		p.Sleep(delay)
+	}
+
+	// Broker-side read under a shared lock, then an RDMA-style pull back
+	// over the fabric (or the store-and-forward relay under the ablation).
+	var data vfs.Payload
+	var rerr error
+	owner.srv.Use(p, params.BrokerService)
+	owner.locks.WithShared(p, path, func() {
+		got, ok := owner.staging.Tree().Get(path)
+		if !ok {
+			rerr = vfs.PathError("dyad fetch", path, vfs.ErrNotExist)
+			return
+		}
+		rerr = owner.cachedRead(p, got.Size())
+		data = got
+	})
+	if rerr != nil {
+		if errors.Is(rerr, faults.ErrDeviceFailed) {
+			// Broker answered but its device is gone: straight to the
+			// shared mirror (the staging copy is unreadable too).
+			return c.fetchDegraded(p, owner, path, rerr)
+		}
+		return vfs.Payload{}, fmt.Errorf("dyad: fetch %s: %w", path, rerr)
+	}
+	if params.NoDirectTransfer {
+		// Ablation: store-and-forward through the management node
+		// instead of a direct producer->consumer pull.
+		relay := c.sys.kvs.Node()
+		c.sys.cl.Transfer(p, owner.node, relay, data.Size())
+		c.sys.cl.Transfer(p, relay, c.broker.node, data.Size())
+	} else {
+		c.sys.cl.Transfer(p, owner.node, c.broker.node, data.Size())
+	}
+	return data, nil
+}
+
+// fetchDegraded is the graceful-degradation path: the owner's broker is
+// unreachable (or its data unreadable through it), so pull the file straight
+// from the producer's staging area — the NVMe survives broker crashes — and
+// fall back to the shared-filesystem mirror when the device itself is gone.
+func (c *Client) fetchDegraded(p *sim.Proc, owner *Broker, path string, cause error) (vfs.Payload, error) {
+	if got, ok := owner.staging.Tree().Get(path); ok && !errors.Is(cause, faults.ErrDeviceFailed) {
+		if _, err := owner.node.SSD.Read(p, got.Size()); err == nil {
+			c.sys.cl.Transfer(p, owner.node, c.broker.node, got.Size())
+			c.sys.Recovery.DegradedReads++
+			c.sys.Recovery.DegradedBytes += got.Size()
+			return got, nil
+		}
+	}
+	if fb := c.fallbackFS(); fb != nil {
+		got, err := fb.ReadFile(p, path)
+		if err == nil {
+			c.sys.Recovery.DegradedReads++
+			c.sys.Recovery.DegradedBytes += got.Size()
+			return got, nil
+		}
+		cause = fmt.Errorf("%w (fallback: %v)", cause, err)
+	}
+	return vfs.Payload{}, fmt.Errorf("dyad: fetch %s: %w: %w", path, faults.ErrExhausted, cause)
 }
 
 // flowOf groups per-frame paths into a producer flow so the sync protocol

@@ -31,7 +31,7 @@ func TestProduceConsumeSameNode(t *testing.T) {
 		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.BytesPayload(payload))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
-		got = sys.NewClient(cl.Node(0)).Consume(p, nil, "/flow/f0")
+		got, _ = sys.NewClient(cl.Node(0)).Consume(p, nil, "/flow/f0")
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestProduceConsumeCrossNode(t *testing.T) {
 		sys.NewClient(cl.Node(0)).Produce(p, nil, "/flow/f0", vfs.BytesPayload(payload))
 	})
 	e.Spawn("cons", func(p *sim.Proc) {
-		got = sys.NewClient(cl.Node(1)).Consume(p, nil, "/flow/f0")
+		got, _ = sys.NewClient(cl.Node(1)).Consume(p, nil, "/flow/f0")
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -251,7 +251,7 @@ func TestManyPairsConserveBytes(t *testing.T) {
 		e.Spawn(fmt.Sprintf("cons%d", pair), func(p *sim.Proc) {
 			c := sys.NewClient(cl.Node(1))
 			for f := 0; f < frames; f++ {
-				got := c.Consume(p, nil, fmt.Sprintf("/flow%d/f%d", pair, f))
+				got, _ := c.Consume(p, nil, fmt.Sprintf("/flow%d/f%d", pair, f))
 				consumedBytes += int(got.Size())
 			}
 		})
@@ -288,7 +288,7 @@ func TestMultipleConsumersSameFlow(t *testing.T) {
 		e.Spawn(fmt.Sprintf("cons%d", ci), func(p *sim.Proc) {
 			c := sys.NewClient(node)
 			for i := 0; i < n; i++ {
-				data := c.Consume(p, nil, fmt.Sprintf("/flow/f%d", i))
+				data, _ := c.Consume(p, nil, fmt.Sprintf("/flow/f%d", i))
 				got[ci] += int(data.Size())
 			}
 		})

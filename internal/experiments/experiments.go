@@ -92,6 +92,9 @@ func All() []Experiment {
 		{"fig12", "Fig 12: frame generation frequency scaling, STMV", Fig12},
 		{"ablation", "Extension: per-mechanism DYAD ablation study", Ablation},
 		{"straggler", "Extension: straggler fault injection", Straggler},
+		// faultsweep stays last: `all` output before it must remain a
+		// byte-identical prefix of output from older builds.
+		{"faultsweep", "Extension: fault injection and recovery sweep", FaultSweep},
 	}
 }
 

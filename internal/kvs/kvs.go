@@ -7,11 +7,17 @@
 package kvs
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
 )
+
+// ErrNoSuchKey marks a lookup of a key that has not been committed. Callers
+// test it with errors.Is; the loose WaitFor path is the blocking alternative.
+var ErrNoSuchKey = errors.New("kvs: no such key")
 
 // Params is the KVS cost model.
 type Params struct {
@@ -75,8 +81,10 @@ func (s *Store) Commit(p *sim.Proc, from *cluster.Node, key string, value []byte
 	}
 }
 
-// Lookup fetches the value under key, reporting whether it exists.
-func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, bool) {
+// Lookup fetches the value under key. A key that has not been committed
+// returns an error wrapping ErrNoSuchKey (the round trip is still paid: the
+// server answered "not found").
+func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, error) {
 	s.Lookups++
 	v, ok := s.data[key]
 	resp := int64(64)
@@ -84,7 +92,10 @@ func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, boo
 		resp += int64(len(v))
 	}
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes, resp, s.server, s.params.LookupService)
-	return v, ok
+	if !ok {
+		return nil, fmt.Errorf("kvs: lookup %q: %w", key, ErrNoSuchKey)
+	}
+	return v, nil
 }
 
 // WaitFor blocks until key exists, then returns its value. If the key is

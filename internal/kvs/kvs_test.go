@@ -1,6 +1,7 @@
 package kvs
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -19,12 +20,12 @@ func TestCommitThenLookup(t *testing.T) {
 	cl, s := newStore(e, 2)
 	e.Spawn("c", func(p *sim.Proc) {
 		s.Commit(p, cl.Node(1), "k", []byte("v"))
-		v, ok := s.Lookup(p, cl.Node(1), "k")
-		if !ok || string(v) != "v" {
-			t.Errorf("lookup = %q, %v", v, ok)
+		v, err := s.Lookup(p, cl.Node(1), "k")
+		if err != nil || string(v) != "v" {
+			t.Errorf("lookup = %q, %v", v, err)
 		}
-		if _, ok := s.Lookup(p, cl.Node(1), "missing"); ok {
-			t.Error("missing key found")
+		if _, err := s.Lookup(p, cl.Node(1), "missing"); !errors.Is(err, ErrNoSuchKey) {
+			t.Errorf("missing key: err = %v, want ErrNoSuchKey", err)
 		}
 	})
 	if err := e.Run(); err != nil {

@@ -62,10 +62,10 @@ func (h *handle) rangeChunks(off, n int64, fn func(chunk int, bytes int64)) {
 // ReadAt issues RPCs only to the OSTs whose stripes the range covers.
 func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 	if h.closed {
-		return nil, fmt.Errorf("lustre: %s: handle closed", h.path)
+		return nil, vfs.PathError("read", h.path, vfs.ErrClosed)
 	}
 	if off < 0 || n < 0 {
-		return nil, fmt.Errorf("lustre: %s: negative range (%d, %d)", h.path, off, n)
+		return nil, fmt.Errorf("lustre: %s: negative range (%d, %d): %w", h.path, off, n, vfs.ErrInvalidRange)
 	}
 	f := h.c.fs
 	pl, ok := f.tree.Get(h.path)
@@ -73,7 +73,7 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 		return nil, vfs.PathError("read", h.path, vfs.ErrNotExist)
 	}
 	if off+n > pl.Size() {
-		return nil, fmt.Errorf("lustre: %s: read [%d,%d) past EOF %d", h.path, off, off+n, pl.Size())
+		return nil, fmt.Errorf("lustre: %s: read [%d,%d) past EOF %d: %w", h.path, off, off+n, pl.Size(), vfs.ErrInvalidRange)
 	}
 	if !pl.HasBytes() {
 		return nil, vfs.PathError("read", h.path, vfs.ErrSizeOnly)
@@ -82,13 +82,12 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 	firstRPC := true
 	h.rangeChunks(off, n, func(chunk int, bytes int64) {
 		o := f.ostFor(first, chunk%f.params.StripeCount)
-		f.OSTOps++
 		service := f.params.OSTService + bwTime(bytes, f.params.OSTReadBandwidth)
 		if firstRPC {
 			service += f.params.PerFileReadOverhead
 			firstRPC = false
 		}
-		f.cl.RPC(p, h.c.node, o.node, 256, bytes, o.srv, service)
+		f.ostRPC(p, h.c.node, o, 256, bytes, service)
 	})
 	return pl.Bytes()[off : off+n], nil
 }
@@ -96,7 +95,7 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 // WriteAt pushes only the covered stripes' OSTs.
 func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 	if h.closed {
-		return fmt.Errorf("lustre: %s: handle closed", h.path)
+		return vfs.PathError("write", h.path, vfs.ErrClosed)
 	}
 	f := h.c.fs
 	cur, ok := f.tree.Get(h.path)
@@ -104,19 +103,18 @@ func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 		return vfs.PathError("write", h.path, vfs.ErrNotExist)
 	}
 	if off < 0 || off > cur.Size() {
-		return fmt.Errorf("lustre: %s: write at %d would leave a hole (size %d)", h.path, off, cur.Size())
+		return fmt.Errorf("lustre: %s: write at %d would leave a hole (size %d): %w", h.path, off, cur.Size(), vfs.ErrInvalidRange)
 	}
 	first := f.layout[h.path]
 	firstRPC := true
 	h.rangeChunks(off, int64(len(data)), func(chunk int, bytes int64) {
 		o := f.ostFor(first, chunk%f.params.StripeCount)
-		f.OSTOps++
 		service := f.params.OSTService + bwTime(bytes, f.params.OSTWriteBandwidth)
 		if firstRPC {
 			service += f.params.PerFileWriteOverhead
 			firstRPC = false
 		}
-		f.cl.RPC(p, h.c.node, o.node, bytes, 64, o.srv, service)
+		f.ostRPC(p, h.c.node, o, bytes, 64, service)
 	})
 	f.tree.Put(h.path, vfs.SplicePayload(cur, off, vfs.BytesPayload(data)))
 	return nil
@@ -130,7 +128,7 @@ func (h *handle) Append(p *sim.Proc, data []byte) error {
 // Close updates size/attributes at the MDS.
 func (h *handle) Close(p *sim.Proc) error {
 	if h.closed {
-		return fmt.Errorf("lustre: %s: double close", h.path)
+		return vfs.PathError("close", h.path, vfs.ErrClosed)
 	}
 	h.c.fs.mdsRPC(p, h.c.node)
 	h.closed = true

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -41,6 +42,18 @@ type Params struct {
 	// filesystem). When BackgroundLoad > 0, StartNoise spawns per-OST noise
 	// processes that keep roughly that fraction of each OST busy.
 	BackgroundLoad float64
+
+	// RPCTimeout is the client's deadline on an RPC to a down MDS/OSS;
+	// Lustre clients see no reply and resend. Zero defaults to 200ms.
+	RPCTimeout time.Duration
+	// Retry is the capped-exponential backoff between resends; exhausted
+	// retries trigger failover. A zero policy defaults to
+	// {Base: 25ms, Cap: 400ms, Max: 4}.
+	Retry faults.Backoff
+	// FailoverDelay is the one-time cost of switching to the standby
+	// MDS/OSS (import re-establishment, lock recovery). Zero defaults
+	// to 800ms.
+	FailoverDelay time.Duration
 }
 
 // DefaultParams returns a model of a mid-size production Lustre system as
@@ -57,6 +70,9 @@ func DefaultParams() Params {
 		OSTWriteBandwidth:    1.15e9,
 		OSTReadBandwidth:     1.3e9,
 		BackgroundLoad:       0.12,
+		RPCTimeout:           200 * time.Millisecond,
+		Retry:                faults.Backoff{Base: 25 * time.Millisecond, Cap: 400 * time.Millisecond, Max: 4},
+		FailoverDelay:        800 * time.Millisecond,
 	}
 }
 
@@ -64,6 +80,12 @@ func DefaultParams() Params {
 type ost struct {
 	node *cluster.Node
 	srv  *sim.Resource
+
+	// downUntil marks the serving OSS down until the given virtual time
+	// (fault injection); failedOver means clients have switched to the
+	// standby OSS, which serves at normal cost for the rest of the run.
+	downUntil  sim.Time
+	failedOver bool
 }
 
 // FS is the Lustre filesystem instance (servers + file table).
@@ -79,8 +101,16 @@ type FS struct {
 
 	noiseStop bool
 
+	// MDS outage state, mirroring the per-OST fields.
+	mdsDownUntil  sim.Time
+	mdsFailedOver bool
+
 	MDSOps int64
 	OSTOps int64
+
+	// Recovery accumulates the run's fault-recovery activity (timeouts,
+	// resends, failovers); all zero on healthy runs.
+	Recovery faults.Metrics
 }
 
 // New builds a Lustre instance with its MDS on mdsNode and one OST on each
@@ -98,6 +128,17 @@ func New(cl *cluster.Cluster, mdsNode *cluster.Node, ostNodes []*cluster.Node, p
 	}
 	if params.StripeCount > len(ostNodes) {
 		params.StripeCount = len(ostNodes)
+	}
+	// Recovery knobs only matter when a server is actually down, so
+	// defaulting them here cannot change healthy-run timelines.
+	if params.RPCTimeout <= 0 {
+		params.RPCTimeout = 200 * time.Millisecond
+	}
+	if params.Retry == (faults.Backoff{}) {
+		params.Retry = faults.Backoff{Base: 25 * time.Millisecond, Cap: 400 * time.Millisecond, Max: 4}
+	}
+	if params.FailoverDelay <= 0 {
+		params.FailoverDelay = 800 * time.Millisecond
 	}
 	f := &FS{
 		cl:      cl,
@@ -157,10 +198,67 @@ func (f *FS) StartNoise() {
 // StopNoise asks noise processes to exit at their next wakeup.
 func (f *FS) StopNoise() { f.noiseStop = true }
 
-// mdsRPC charges one metadata round trip from the client node.
+// FailOST takes OST i's serving OSS down for d of virtual time. Clients
+// whose RPCs hit the outage time out, resend under backoff, and eventually
+// fail over to the standby OSS.
+func (f *FS) FailOST(i int, d time.Duration) {
+	o := f.osts[i%len(f.osts)]
+	if until := f.cl.Engine().Now() + d; until > o.downUntil {
+		o.downUntil = until
+	}
+}
+
+// FailMDS takes the metadata server down for d of virtual time.
+func (f *FS) FailMDS(d time.Duration) {
+	if until := f.cl.Engine().Now() + d; until > f.mdsDownUntil {
+		f.mdsDownUntil = until
+	}
+}
+
+// await applies the Lustre client recovery policy for a server that may be
+// down: an RPC sent to it gets no reply within RPCTimeout and is resent
+// under the Retry backoff; exhausted resends trigger failover to the standby
+// (FailoverDelay once, then normal service for the rest of the run). When
+// the server is up — the only case on healthy runs — this is two compares.
+func (f *FS) await(p *sim.Proc, downUntil *sim.Time, failedOver *bool) {
+	if *failedOver || p.Now() >= *downUntil {
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		f.Recovery.Timeouts++
+		f.Recovery.RecoveryTime += f.params.RPCTimeout
+		p.Sleep(f.params.RPCTimeout)
+		if attempt >= f.params.Retry.Max {
+			break
+		}
+		f.Recovery.Retries++
+		delay := f.params.Retry.Delay(attempt)
+		f.Recovery.RecoveryTime += delay
+		p.Sleep(delay)
+		if p.Now() >= *downUntil {
+			// The server came back during backoff; the resend succeeds.
+			return
+		}
+	}
+	*failedOver = true
+	f.Recovery.Failovers++
+	f.Recovery.RecoveryTime += f.params.FailoverDelay
+	p.Sleep(f.params.FailoverDelay)
+}
+
+// mdsRPC charges one metadata round trip from the client node, waiting out
+// an MDS outage first.
 func (f *FS) mdsRPC(p *sim.Proc, from *cluster.Node) {
+	f.await(p, &f.mdsDownUntil, &f.mdsFailedOver)
 	f.MDSOps++
 	f.cl.RPC(p, from, f.mdsNode, 256, 128, f.mds, f.params.MDSService)
+}
+
+// ostRPC charges one OST round trip, waiting out an OSS outage first.
+func (f *FS) ostRPC(p *sim.Proc, from *cluster.Node, o *ost, reqBytes, respBytes int64, service time.Duration) {
+	f.await(p, &o.downUntil, &o.failedOver)
+	f.OSTOps++
+	f.cl.RPC(p, from, o.node, reqBytes, respBytes, o.srv, service)
 }
 
 // ostFor returns the OST index for chunk k of a file whose layout starts
@@ -192,12 +290,11 @@ func (f *FS) chunks(n int64) []int64 {
 func (f *FS) writeChunks(p *sim.Proc, from *cluster.Node, first int, n int64) {
 	for k, c := range f.chunks(n) {
 		o := f.ostFor(first, k%f.params.StripeCount)
-		f.OSTOps++
 		service := f.params.OSTService + bwTime(c, f.params.OSTWriteBandwidth)
 		if k == 0 {
 			service += f.params.PerFileWriteOverhead
 		}
-		f.cl.RPC(p, from, o.node, c, 64, o.srv, service)
+		f.ostRPC(p, from, o, c, 64, service)
 	}
 }
 
@@ -205,12 +302,11 @@ func (f *FS) writeChunks(p *sim.Proc, from *cluster.Node, first int, n int64) {
 func (f *FS) readChunks(p *sim.Proc, from *cluster.Node, first int, n int64) {
 	for k, c := range f.chunks(n) {
 		o := f.ostFor(first, k%f.params.StripeCount)
-		f.OSTOps++
 		service := f.params.OSTService + bwTime(c, f.params.OSTReadBandwidth)
 		if k == 0 {
 			service += f.params.PerFileReadOverhead
 		}
-		f.cl.RPC(p, from, o.node, 256, c, o.srv, service)
+		f.ostRPC(p, from, o, 256, c, service)
 	}
 }
 
@@ -288,9 +384,7 @@ func (c *Client) Unlink(p *sim.Proc, path string) error {
 		return vfs.PathError("unlink", path, vfs.ErrNotExist)
 	}
 	if had {
-		o := f.osts[first]
-		f.OSTOps++
-		f.cl.RPC(p, c.node, o.node, 256, 64, o.srv, f.params.OSTService/4)
+		f.ostRPC(p, c.node, f.osts[first], 256, 64, f.params.OSTService/4)
 		delete(f.layout, path)
 	}
 	return nil

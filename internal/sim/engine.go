@@ -54,6 +54,13 @@ func (a *event) before(b *event) bool {
 // be granted. Stranded processes are aborted so no goroutines leak.
 var ErrStranded = errors.New("sim: processes stranded at end of run")
 
+// ErrWatchdog is reported by Run when a watchdog limit set with SetWatchdog
+// is exceeded: the run executed more events or advanced further in virtual
+// time than the configured budget. It converts a livelocked simulation (for
+// example a retry loop that never stops re-scheduling itself) into a
+// descriptive error instead of an endless spin.
+var ErrWatchdog = errors.New("sim: watchdog limit exceeded")
+
 // Engine is a discrete-event simulation instance. Create one with NewEngine,
 // spawn processes with Spawn, then call Run. Engines are not safe for use
 // from multiple OS threads; all interaction must happen either before Run or
@@ -73,6 +80,11 @@ type Engine struct {
 	seed     uint64
 	failure  error
 	tracer   func(t Time, procName, msg string)
+
+	// Watchdog limits (0 = unlimited); see SetWatchdog.
+	maxEvents int64
+	maxTime   Time
+	fired     int64 // events fired so far
 }
 
 // NewEngine returns an engine with its virtual clock at zero. The seed
@@ -112,6 +124,23 @@ func (e *Engine) Seed() uint64 { return e.seed }
 // SetTracer installs a callback invoked by Proc.Tracef. A nil tracer (the
 // default) makes tracing free.
 func (e *Engine) SetTracer(fn func(t Time, procName, msg string)) { e.tracer = fn }
+
+// SetWatchdog arms run limits: Run aborts with an error wrapping ErrWatchdog
+// once it has fired more than maxEvents events or virtual time passes
+// maxTime. Zero disables the respective limit (the default). The watchdog is
+// the backstop that keeps a livelocked workload — a recovery policy retrying
+// forever, processes ping-ponging wakes at one instant — from hanging a
+// batch; aborted runs unwind cleanly like any other failed run.
+func (e *Engine) SetWatchdog(maxEvents int64, maxTime Time) {
+	if maxEvents < 0 || maxTime < 0 {
+		panic("sim: negative watchdog limit")
+	}
+	e.maxEvents = maxEvents
+	e.maxTime = maxTime
+}
+
+// Events returns the number of events fired so far.
+func (e *Engine) Events() int64 { return e.fired }
 
 // push inserts ev into the heap.
 func (e *Engine) push(ev event) {
@@ -214,6 +243,12 @@ func (e *Engine) Run() error {
 	for len(e.pq) > 0 {
 		ev := e.pop()
 		e.now = ev.at
+		e.fired++
+		if (e.maxEvents > 0 && e.fired > e.maxEvents) || (e.maxTime > 0 && e.now > e.maxTime) {
+			e.failure = fmt.Errorf("%w: %d events fired, virtual time %v (limits: %d events, %v)",
+				ErrWatchdog, e.fired, e.now, e.maxEvents, e.maxTime)
+			break
+		}
 		e.fire(&ev)
 		if e.failure != nil {
 			break
@@ -221,8 +256,15 @@ func (e *Engine) Run() error {
 	}
 	var stranded []string
 	for _, p := range e.procs {
-		if !p.done && p.waiting {
+		switch {
+		case p.done:
+		case p.waiting:
 			stranded = append(stranded, p.name)
+			p.abort()
+		case e.failure != nil:
+			// An aborted run (process failure or watchdog) can strand
+			// processes that are merely sleeping — their delivery events
+			// die with the queue. Unwind them too so no goroutines leak.
 			p.abort()
 		}
 	}

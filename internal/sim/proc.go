@@ -40,14 +40,23 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, isAbort := r.(procAbort); !isAbort && e.failure == nil {
-					e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					if err, ok := r.(error); ok {
+						// Processes abort by panicking with an error value;
+						// keep the chain so callers can errors.Is against
+						// the wrapped sentinel (faults.ErrDeviceFailed, ...).
+						e.failure = fmt.Errorf("sim: process %q failed: %w", p.name, err)
+					} else {
+						e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					}
 				}
 			}
 			p.done = true
 			e.live--
 			e.kernelCh <- struct{}{} // final baton back to the kernel
 		}()
-		fn(p)
+		if !p.aborted { // aborted before first delivery: never run user code
+			fn(p)
+		}
 	}()
 	e.scheduleDeliver(e.now, p.idx)
 	return p

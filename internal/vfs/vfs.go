@@ -22,6 +22,12 @@ var (
 	ErrNotExist = errors.New("vfs: file does not exist")
 	ErrExist    = errors.New("vfs: file already exists")
 	ErrCrossed  = errors.New("vfs: operation crosses filesystem reach")
+	// ErrClosed marks an operation on a closed handle (including a second
+	// Close).
+	ErrClosed = errors.New("vfs: handle closed")
+	// ErrInvalidRange marks a byte range that is negative, past EOF, or
+	// would leave a hole.
+	ErrInvalidRange = errors.New("vfs: invalid byte range")
 )
 
 // FileInfo describes a stored file.

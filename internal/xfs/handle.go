@@ -27,7 +27,10 @@ func (f *FS) Open(p *sim.Proc, path string) (vfs.Handle, error) {
 // CreateFile implements vfs.HandleFS: creates/truncates path.
 func (f *FS) CreateFile(p *sim.Proc, path string) (vfs.Handle, error) {
 	p.Sleep(f.params.MetaLatency)
-	f.node.SSD.Write(p, f.params.JournalBytes) // inode create/truncate journal
+	// Inode create/truncate journal.
+	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
+		return nil, vfs.PathError("create", path, err)
+	}
 	path = vfs.Clean(path)
 	f.tree.Put(path, vfs.Payload{})
 	return &handle{fs: f, path: path}, nil
@@ -42,7 +45,7 @@ func (h *handle) Size() int64 {
 
 func (h *handle) check(p *sim.Proc) error {
 	if h.closed {
-		return fmt.Errorf("xfs: %s: handle closed", h.path)
+		return vfs.PathError("xfs", h.path, vfs.ErrClosed)
 	}
 	p.Sleep(h.fs.params.MetaLatency)
 	return nil
@@ -54,19 +57,21 @@ func (h *handle) ReadAt(p *sim.Proc, off, n int64) ([]byte, error) {
 		return nil, err
 	}
 	if off < 0 || n < 0 {
-		return nil, fmt.Errorf("xfs: %s: negative range (%d, %d)", h.path, off, n)
+		return nil, fmt.Errorf("xfs: %s: negative range (%d, %d): %w", h.path, off, n, vfs.ErrInvalidRange)
 	}
 	pl, ok := h.fs.tree.Get(h.path)
 	if !ok {
 		return nil, vfs.PathError("read", h.path, vfs.ErrNotExist)
 	}
 	if off+n > pl.Size() {
-		return nil, fmt.Errorf("xfs: %s: read [%d,%d) past EOF %d", h.path, off, off+n, pl.Size())
+		return nil, fmt.Errorf("xfs: %s: read [%d,%d) past EOF %d: %w", h.path, off, off+n, pl.Size(), vfs.ErrInvalidRange)
 	}
 	if !pl.HasBytes() {
 		return nil, vfs.PathError("read", h.path, vfs.ErrSizeOnly)
 	}
-	h.fs.node.SSD.Read(p, n)
+	if _, err := h.fs.node.SSD.Read(p, n); err != nil {
+		return nil, vfs.PathError("read", h.path, err)
+	}
 	return pl.Bytes()[off : off+n], nil
 }
 
@@ -80,10 +85,14 @@ func (h *handle) WriteAt(p *sim.Proc, off int64, data []byte) error {
 		return vfs.PathError("write", h.path, vfs.ErrNotExist)
 	}
 	if off < 0 || off > cur.Size() {
-		return fmt.Errorf("xfs: %s: write at %d would leave a hole (size %d)", h.path, off, cur.Size())
+		return fmt.Errorf("xfs: %s: write at %d would leave a hole (size %d): %w", h.path, off, cur.Size(), vfs.ErrInvalidRange)
 	}
-	h.fs.node.SSD.Write(p, h.fs.params.JournalBytes)
-	h.fs.node.SSD.Write(p, int64(len(data)))
+	if _, err := h.fs.node.SSD.Write(p, h.fs.params.JournalBytes); err != nil {
+		return vfs.PathError("write", h.path, err)
+	}
+	if _, err := h.fs.node.SSD.Write(p, int64(len(data))); err != nil {
+		return vfs.PathError("write", h.path, err)
+	}
 	h.fs.tree.Put(h.path, vfs.SplicePayload(cur, off, vfs.BytesPayload(data)))
 	return nil
 }
@@ -96,7 +105,7 @@ func (h *handle) Append(p *sim.Proc, data []byte) error {
 // Close releases the handle (metadata cost only).
 func (h *handle) Close(p *sim.Proc) error {
 	if h.closed {
-		return fmt.Errorf("xfs: %s: double close", h.path)
+		return vfs.PathError("close", h.path, vfs.ErrClosed)
 	}
 	p.Sleep(h.fs.params.MetaLatency)
 	h.closed = true

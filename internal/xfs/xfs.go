@@ -58,8 +58,12 @@ func (f *FS) Tree() *vfs.Tree { return f.tree }
 // The payload is stored by reference, never copied.
 func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Sleep(f.params.MetaLatency)
-	f.node.SSD.Write(p, f.params.JournalBytes)
-	f.node.SSD.Write(p, pl.Size())
+	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
+		return vfs.PathError("write", path, err)
+	}
+	if _, err := f.node.SSD.Write(p, pl.Size()); err != nil {
+		return vfs.PathError("write", path, err)
+	}
 	f.tree.Put(path, pl)
 	return nil
 }
@@ -71,7 +75,9 @@ func (f *FS) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	if !ok {
 		return vfs.Payload{}, vfs.PathError("read", path, vfs.ErrNotExist)
 	}
-	f.node.SSD.Read(p, pl.Size())
+	if _, err := f.node.SSD.Read(p, pl.Size()); err != nil {
+		return vfs.Payload{}, vfs.PathError("read", path, err)
+	}
 	return pl, nil
 }
 
@@ -88,7 +94,9 @@ func (f *FS) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
 // Unlink implements vfs.FS: journal commit, entry removal.
 func (f *FS) Unlink(p *sim.Proc, path string) error {
 	p.Sleep(f.params.MetaLatency)
-	f.node.SSD.Write(p, f.params.JournalBytes)
+	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
+		return vfs.PathError("unlink", path, err)
+	}
 	if !f.tree.Remove(path) {
 		return vfs.PathError("unlink", path, vfs.ErrNotExist)
 	}

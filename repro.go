@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/models"
 )
 
@@ -58,6 +59,27 @@ type Aggregate = core.Aggregate
 
 // Model describes a molecular model (Table I).
 type Model = models.Model
+
+// FaultSpec configures deterministic fault injection for a run; attach one
+// to Config.Faults. See faults.Spec for field semantics.
+type FaultSpec = faults.Spec
+
+// FaultEvent is one explicit injected fault (Config.Faults.Events).
+type FaultEvent = faults.Event
+
+// RecoveryMetrics counts injected faults and the recovery work they
+// caused; every Result carries one (Result.Recovery).
+type RecoveryMetrics = faults.Metrics
+
+// Fault sentinels: errors surfaced by injected failures are errors.Is-able
+// against these.
+var (
+	ErrDeviceFailed = faults.ErrDeviceFailed
+	ErrTimeout      = faults.ErrTimeout
+	ErrBrokerDown   = faults.ErrBrokerDown
+	ErrLinkDown     = faults.ErrLinkDown
+	ErrExhausted    = faults.ErrExhausted
+)
 
 // Run executes one workflow run.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }

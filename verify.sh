@@ -20,6 +20,11 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== fault-matrix smoke: experiments faultsweep -quick (race) =="
+# The injected-failure matrix must complete — every run either recovers or
+# dies with a wrapped sentinel; no panics, hangs, or data races.
+go run -race ./cmd/experiments -quick -q faultsweep
+
 echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./... =="
 # One iteration of every benchmark: catches benchmarks that panic or hang
 # without paying measurement time. Full measured runs live in bench.sh.
