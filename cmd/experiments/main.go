@@ -37,6 +37,7 @@ func main() {
 		outPath  = flag.String("o", "", "write output to file instead of stdout")
 		quiet    = flag.Bool("q", false, "suppress per-experiment progress on stderr")
 		memstats = flag.Bool("memstats", false, "report per-experiment host allocation deltas on stderr")
+		traceOut = flag.String("trace", "", "record virtual-time span traces: write a Chrome trace-event JSON file here and emit per-experiment time-breakdown reports")
 	)
 	flag.Parse()
 
@@ -73,6 +74,11 @@ func main() {
 	}
 
 	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers}
+	var collector *repro.TraceCollector
+	if *traceOut != "" {
+		collector = repro.NewTraceCollector()
+		opts.Trace = collector
+	}
 	effWorkers := *workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -101,18 +107,26 @@ func main() {
 		if *memstats {
 			reportMemStats(id, &before)
 		}
-		switch {
-		case *asJSON:
-			reports = append(reports, rep)
-		case *asCSV:
-			fmt.Fprintf(out, "# %s — %s\n", rep.ID, rep.Title)
-			if err := rep.WriteCSV(out); err != nil {
-				fatal(err)
+		emit := []*repro.ExperimentReport{rep}
+		// With -trace, the experiment's span-derived time breakdown rides
+		// along as a second report; without it, output bytes are unchanged.
+		if breakdown := collector.Drain(id); breakdown != nil {
+			emit = append(emit, breakdown)
+		}
+		for _, rep := range emit {
+			switch {
+			case *asJSON:
+				reports = append(reports, rep)
+			case *asCSV:
+				fmt.Fprintf(out, "# %s — %s\n", rep.ID, rep.Title)
+				if err := rep.WriteCSV(out); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintln(out)
+			default:
+				repro.RenderReport(out, rep)
+				fmt.Fprintln(out)
 			}
-			fmt.Fprintln(out)
-		default:
-			repro.RenderReport(out, rep)
-			fmt.Fprintln(out)
 		}
 	}
 	if *asJSON {
@@ -120,6 +134,22 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fatal(err)
+		}
+	}
+	if collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := repro.WriteChromeTrace(f, collector.Runs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d traced run(s) to %s\n", len(collector.Runs), *traceOut)
 		}
 	}
 	if !*quiet {

@@ -245,11 +245,21 @@ type ChangeDetector struct {
 // Observe feeds one value, reporting whether it is a sudden change.
 func (c *ChangeDetector) Observe(x float64) bool {
 	detected := false
+	// The z-score is defined per observation: recompute it on every call so
+	// ZScore never reports a stale value from an earlier check (it used to
+	// survive warmup and zero-variance observations unchanged).
+	c.lastZScore = 0
 	if c.n >= c.MinSample && c.n > 1 {
 		std := math.Sqrt(c.m2 / float64(c.n-1))
-		if std > 0 {
+		switch {
+		case std > 0:
 			c.lastZScore = math.Abs(x-c.mean) / std
 			detected = c.lastZScore > c.Threshold
+		case x != c.mean:
+			// Zero-variance history: any departure from the constant series
+			// is infinitely many standard deviations away. Flag it.
+			c.lastZScore = math.Inf(1)
+			detected = true
 		}
 	}
 	// Welford update.
@@ -260,7 +270,10 @@ func (c *ChangeDetector) Observe(x float64) bool {
 	return detected
 }
 
-// ZScore returns the z-score of the most recent detection check.
+// ZScore returns the z-score of the most recent observation's detection
+// check: 0 during warmup (fewer than MinSample prior observations) and for
+// a value matching a zero-variance history, +Inf for a value departing a
+// zero-variance history.
 func (c *ChangeDetector) ZScore() float64 { return c.lastZScore }
 
 // Count returns the number of observations so far.

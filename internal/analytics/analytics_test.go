@@ -151,3 +151,49 @@ func TestChangeDetectorWarmup(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a jump after a perfectly constant history used to slip
+// through undetected — std is zero, so the z-score branch never ran and
+// ZScore kept its previous (stale) value. A departure from a zero-variance
+// series is the most unambiguous change there is: it must be detected, with
+// a +Inf z-score.
+func TestChangeDetectorZeroVarianceJump(t *testing.T) {
+	cd := &ChangeDetector{Threshold: 3, MinSample: 3}
+	for i := 0; i < 5; i++ {
+		if cd.Observe(5) {
+			t.Fatal("constant series flagged as change")
+		}
+		if cd.ZScore() != 0 {
+			t.Fatalf("constant series z-score %v, want 0", cd.ZScore())
+		}
+	}
+	if !cd.Observe(9) {
+		t.Fatalf("departure from zero-variance series not detected (z=%v)", cd.ZScore())
+	}
+	if !math.IsInf(cd.ZScore(), 1) {
+		t.Fatalf("z-score %v, want +Inf", cd.ZScore())
+	}
+}
+
+// Regression: ZScore is defined per observation. During warmup it must
+// read 0 — not whatever a hypothetical earlier check left behind — and a
+// post-warmup in-range value must overwrite a detection's large z-score.
+func TestChangeDetectorZScorePerObservation(t *testing.T) {
+	cd := &ChangeDetector{Threshold: 4, MinSample: 4}
+	for _, v := range []float64{10, 200, -70, 10} {
+		cd.Observe(v)
+		if cd.ZScore() != 0 {
+			t.Fatalf("warmup z-score %v, want 0", cd.ZScore())
+		}
+	}
+	cd.Observe(10) // active: finite z computed against the noisy history
+	z1 := cd.ZScore()
+	if math.IsInf(z1, 0) || math.IsNaN(z1) {
+		t.Fatalf("active z-score %v, want finite", z1)
+	}
+	cd.Observe(37.5)
+	cd.Observe(37.5)
+	if cd.ZScore() == z1 && z1 != 0 {
+		t.Fatal("z-score not refreshed per observation")
+	}
+}

@@ -165,14 +165,23 @@ type Profile struct {
 	Root *Node  `json:"root"`
 }
 
-// TotalOf sums inclusive time over all nodes named name.
+// TotalOf sums inclusive time over the outermost nodes named name: once a
+// node matches, its subtree is not searched further. A same-named region
+// nested inside a matching one is already included in the ancestor's
+// inclusive total, so counting it again would double-bill that time;
+// matches on disjoint call paths (different parents) still all contribute.
 func (p *Profile) TotalOf(name string) time.Duration {
+	return totalOf(p.Root, name)
+}
+
+func totalOf(n *Node, name string) time.Duration {
+	if n.Name == name {
+		return n.Total
+	}
 	var t time.Duration
-	p.Root.Walk(func(_ string, n *Node) {
-		if n.Name == name {
-			t += n.Total
-		}
-	})
+	for _, c := range n.Children {
+		t += totalOf(c, name)
+	}
 	return t
 }
 
@@ -204,7 +213,9 @@ func (p *Profile) Render(w io.Writer) {
 func renderNode(w io.Writer, n *Node, depth int) {
 	fmt.Fprintf(w, "%s%s  total=%v visits=%d\n", strings.Repeat("  ", depth), n.Name, n.Total, n.Visits)
 	kids := append([]*Node(nil), n.Children...)
-	sort.Slice(kids, func(i, j int) bool { return kids[i].Total > kids[j].Total })
+	// Stable sort: children with equal totals keep their call-path
+	// (first-visit) order, so renders are deterministic run to run.
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].Total > kids[j].Total })
 	for _, c := range kids {
 		renderNode(w, c, depth+1)
 	}

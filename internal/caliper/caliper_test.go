@@ -2,6 +2,7 @@ package caliper
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -210,5 +211,83 @@ func TestZeroValueAnnotatorInert(t *testing.T) {
 	}
 	if got := p.TotalOf("x"); got != 0 {
 		t.Fatalf("zero-value annotator accumulated time: %v", got)
+	}
+}
+
+// Regression: TotalOf must not double-count a same-named region nested
+// inside another — the inner visit's time is already part of the outer
+// node's inclusive total. A retry loop that re-enters "io" inside "io"
+// used to inflate TotalOf("io") by the inner time.
+func TestTotalOfCountsOutermostOnly(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("io")
+	fc.tick(2 * time.Millisecond)
+	a.Begin("io") // nested same-named region (e.g. a retry)
+	fc.tick(4 * time.Millisecond)
+	a.End("io")
+	fc.tick(1 * time.Millisecond)
+	a.End("io")
+	p := a.Profile()
+	// Outer inclusive total is 7ms and already contains the nested 4ms.
+	if got := p.TotalOf("io"); got != 7*time.Millisecond {
+		t.Fatalf("TotalOf(io) = %v, want 7ms (outermost only, no double count)", got)
+	}
+	// Disjoint occurrences under different parents must still both count.
+	a2 := New("p1", fc.clock)
+	for _, parent := range []string{"a", "b"} {
+		a2.Begin(parent)
+		a2.Begin("io")
+		fc.tick(3 * time.Millisecond)
+		a2.End("io")
+		a2.End(parent)
+	}
+	if got := a2.Profile().TotalOf("io"); got != 6*time.Millisecond {
+		t.Fatalf("TotalOf(io) across paths = %v, want 6ms", got)
+	}
+}
+
+// Regression: Render must be deterministic when children tie on total.
+// renderNode used to use sort.Slice, whose pdqsort reorders equal elements
+// once a child list is big enough, so two renders of identical profiles
+// could disagree. Ties must keep first-visit order.
+func TestRenderStableOnTies(t *testing.T) {
+	fc := &fakeClock{}
+	a := New("p0", fc.clock)
+	a.Begin("parent")
+	// Interleave two tied groups (2ms "hi", 1ms "lo") so the sort has real
+	// work to do; a non-stable sort scrambles within each tied group.
+	var hi, lo []string
+	for i := 0; i < 16; i++ {
+		for _, g := range []struct {
+			prefix string
+			cost   time.Duration
+		}{{"hi", 2 * time.Millisecond}, {"lo", time.Millisecond}} {
+			name := fmt.Sprintf("%s%02d", g.prefix, i)
+			a.Begin(name)
+			fc.tick(g.cost)
+			a.End(name)
+		}
+		hi = append(hi, fmt.Sprintf("hi%02d", i))
+		lo = append(lo, fmt.Sprintf("lo%02d", i))
+	}
+	want := append(append([]string(nil), hi...), lo...)
+	a.End("parent")
+	var buf bytes.Buffer
+	a.Profile().Render(&buf)
+	var got []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && (strings.HasPrefix(f[0], "hi") || strings.HasPrefix(f[0], "lo")) {
+			got = append(got, f[0])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rendered %d tied children, want %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied children reordered: position %d is %s, want %s (full order %v)", i, got[i], want[i], got)
+		}
 	}
 }

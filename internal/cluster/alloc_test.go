@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ioAllocs measures the allocations of one engine lifetime pushing `ops`
+// operations through every instrumented component path: SSD reads and
+// writes, same-node and cross-node transfers, and RPCs.
+func ioAllocs(t *testing.T, ops int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		e := sim.NewEngine(1)
+		c := New(e, testSpec(2))
+		srv := sim.NewResource(e, "srv", 1)
+		e.Spawn("p", func(p *sim.Proc) {
+			for i := 0; i < ops; i++ {
+				c.Node(0).SSD.Write(p, 4096)
+				c.Node(0).SSD.Read(p, 4096)
+				c.Transfer(p, c.Node(0), c.Node(0), 4096)
+				c.Transfer(p, c.Node(0), c.Node(1), 4096)
+				c.RPC(p, c.Node(0), c.Node(1), 128, 128, srv, time.Microsecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// With tracing off (no recorder on the engine), the span emission sites in
+// the I/O paths must cost nothing: scaling the operation count 50x must
+// not add a single allocation. This pins the tentpole's zero-cost contract
+// at the component layer, where every hot path got an Emit call.
+func TestIOPathsZeroAllocsWithTracingOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation budget checked without -race")
+	}
+	base := ioAllocs(t, 20)
+	long := ioAllocs(t, 1_000)
+	if delta := long - base; delta > 0 {
+		t.Fatalf("I/O paths allocate with tracing off: %.0f allocs over 980 extra iterations (base %.0f, long %.0f)", delta, base, long)
+	}
+}

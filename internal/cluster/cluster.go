@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SSDSpec parameterizes a node-local NVMe device.
@@ -123,6 +124,8 @@ func (s *SSD) Failed() bool { return s.failed }
 func (s *SSD) fail(p *sim.Proc, op string, lat time.Duration) error {
 	s.FailedOps++
 	p.Sleep(lat)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "ssd", Name: "io_error",
+		Class: trace.ClassRecovery, Start: p.Now() - lat, Dur: lat, Attr: s.dev.Name()})
 	return fmt.Errorf("cluster: %s %s: %w", s.dev.Name(), op, faults.ErrDeviceFailed)
 }
 
@@ -138,7 +141,10 @@ func (s *SSD) Read(p *sim.Proc, n int64) (time.Duration, error) {
 	s.Reads++
 	s.BytesRead += n
 	service := s.scale(s.spec.ReadLatency + bwTime(n, s.spec.ReadBandwidth))
-	return s.dev.Use(p, service), nil
+	elapsed := s.dev.Use(p, service)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "ssd", Name: "read",
+		Start: p.Now() - elapsed, Dur: elapsed, Bytes: n, Attr: s.dev.Name()})
+	return elapsed, nil
 }
 
 // Write charges the device for an n-byte write and returns time spent. A
@@ -153,7 +159,10 @@ func (s *SSD) Write(p *sim.Proc, n int64) (time.Duration, error) {
 	s.Writes++
 	s.BytesWritten += n
 	service := s.scale(s.spec.WriteLatency + bwTime(n, s.spec.WriteBandwidth))
-	return s.dev.Use(p, service), nil
+	elapsed := s.dev.Use(p, service)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "ssd", Name: "write",
+		Start: p.Now() - elapsed, Dur: elapsed, Bytes: n, Attr: s.dev.Name()})
+	return elapsed, nil
 }
 
 // Device exposes the underlying queued resource (for utilization stats).
@@ -223,6 +232,10 @@ func (n *Node) awaitLink(p *sim.Proc) {
 		n.cl.LinkStalls++
 		n.cl.LinkStallTime += wait
 		p.Sleep(wait)
+		if rec := p.Rec(); rec != nil {
+			rec.Emit(trace.Span{Proc: p.Name(), Component: "net", Name: "link_stall",
+				Class: trace.ClassRecovery, Start: p.Now() - wait, Dur: wait, Attr: n.Name()})
+		}
 	}
 }
 
@@ -310,6 +323,8 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
 	if src == dst {
 		// Loopback: no wire, just a cheap copy at memory speed.
 		p.Sleep(bwTime(n, 8*c.Spec.NIC.Bandwidth))
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "net", Name: "transfer",
+			Start: start, Dur: p.Now() - start, Bytes: n, Attr: "loopback"})
 		return p.Now() - start
 	}
 	c.BytesOnWire += n
@@ -318,6 +333,7 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
 	// only the lost time.
 	src.awaitLink(p)
 	dst.awaitLink(p)
+	wireStart := p.Now()
 	// The sender serializes the message onto the wire in segments (the
 	// fabric is packet-switched: a small control message never waits for a
 	// whole multi-megabyte transfer ahead of it, only for the segment in
@@ -342,6 +358,10 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
 	}
 	p.Sleep(c.Spec.Fabric.HopLatency)
 	dst.nic.Use(p, 0) // receive completion posts in FIFO order behind local sends
+	// The transfer span covers the wire time only; link-outage stalls are
+	// separate recovery spans emitted by awaitLink.
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "net", Name: "transfer",
+		Start: wireStart, Dur: p.Now() - wireStart, Bytes: n})
 	return p.Now() - start
 }
 
@@ -354,10 +374,19 @@ const wireSegment = 256 << 10
 func (c *Cluster) RPC(p *sim.Proc, src, dst *Node, reqBytes, respBytes int64, server *sim.Resource, service time.Duration) time.Duration {
 	start := p.Now()
 	c.Transfer(p, src, dst, reqBytes)
+	svcStart := p.Now()
 	if server != nil {
 		server.Use(p, service)
 	} else {
 		p.Sleep(service)
+	}
+	if rec := p.Rec(); rec != nil {
+		attr := ""
+		if server != nil {
+			attr = server.Name()
+		}
+		rec.Emit(trace.Span{Proc: p.Name(), Component: "net", Name: "rpc_service",
+			Start: svcStart, Dur: p.Now() - svcStart, Attr: attr})
 	}
 	c.Transfer(p, dst, src, respBytes)
 	return p.Now() - start

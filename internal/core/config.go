@@ -139,6 +139,14 @@ type Config struct {
 	// (frame produced/consumed) with virtual timestamps — an execution
 	// timeline for debugging runs.
 	Trace io.Writer
+	// RecordSpans enables the virtual-time span tracer: every modeled
+	// operation (SSD I/O, transfers, RPCs, KVS ops, journal commits,
+	// recovery waits) emits a span, surfaced on Result.Spans/SpanStats.
+	// Spans are observations only — recording never touches the virtual
+	// timeline or any RNG stream, so a traced run's measurements are
+	// byte-identical to the same run untraced. Off (the default) costs one
+	// nil check per operation and zero allocations.
+	RecordSpans bool
 }
 
 // EffectiveStride returns the configured stride, or the model's default.

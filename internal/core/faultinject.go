@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/trace"
 )
 
 // scheduleFaults derives the run's concrete fault plan from Config.Faults
@@ -97,4 +98,29 @@ func (r *rig) applyFault(ev faults.Event) {
 		return
 	}
 	r.recovery.Injected++
+	// Mark the injection on the trace timeline: one span per applied event,
+	// spanning the fault window, on a synthetic injector track.
+	if r.rec != nil {
+		r.rec.Emit(trace.Span{Proc: "fault-injector", Component: "fault", Name: ev.Kind.String(),
+			Start: r.eng.Now(), Dur: ev.For, Attr: "target=" + itoa(ev.Target)})
+	}
+}
+
+// itoa is a minimal non-negative integer formatter (fault targets are small
+// indices; avoids pulling strconv into the hot import path for one call).
+func itoa(n int) string {
+	if n < 0 {
+		n = -n
+	}
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
 }

@@ -79,6 +79,19 @@ func runIndexed(i int, cfg Config) (res *Result, err error) {
 	return res, nil
 }
 
+// RepeatConfigs expands cfg into reps copies with the repetition seed
+// schedule (seed + i*golden-ratio increment) — the same schedule Repeat and
+// RepeatWorkers use. Callers that need to adjust individual repetitions
+// (e.g. enable span tracing on one) can edit the slice before RunMany.
+func RepeatConfigs(cfg Config, reps int) []Config {
+	cfgs := make([]Config, reps)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + uint64(i)*0x9e3779b9
+	}
+	return cfgs
+}
+
 // RepeatWorkers runs cfg reps times with distinct seeds, fanning the
 // repetitions across workers goroutines (workers <= 0 means
 // DefaultWorkers). Seeds and therefore results are identical to serial
@@ -87,10 +100,5 @@ func RepeatWorkers(cfg Config, reps, workers int) ([]*Result, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("core: reps %d < 1", reps)
 	}
-	cfgs := make([]Config, reps)
-	for i := range cfgs {
-		cfgs[i] = cfg
-		cfgs[i].Seed = cfg.Seed + uint64(i)*0x9e3779b9
-	}
-	return RunMany(cfgs, workers)
+	return RunMany(RepeatConfigs(cfg, reps), workers)
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/caliper"
 	"repro/internal/faults"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Totals is one role's time decomposition for a whole run (all frames),
@@ -56,6 +57,13 @@ type Result struct {
 	// when Config.KeepProfiles is set.
 	ProducerProfiles []*caliper.Profile
 	ConsumerProfiles []*caliper.Profile
+
+	// Spans holds the run's virtual-time span trace when Config.RecordSpans
+	// is set (nil otherwise); emission order is event-execution order.
+	Spans []trace.Span
+	// SpanStats are per-operation counters and latency histograms derived
+	// from Spans. Nil when tracing is off.
+	SpanStats []trace.OpStat
 }
 
 // collect derives the Result from the rig's profiles and counters.
@@ -106,6 +114,10 @@ func (r *rig) collect() (*Result, error) {
 	if r.cfg.KeepProfiles {
 		res.ProducerProfiles = r.prodProfiles
 		res.ConsumerProfiles = r.consProfiles
+	}
+	if r.rec != nil {
+		res.Spans = r.rec.Spans()
+		res.SpanStats = trace.Aggregate(res.Spans)
 	}
 	return res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/lustre"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/xfs"
 )
@@ -53,6 +54,10 @@ type rig struct {
 	decodeErrs   []error
 
 	consumersDone int
+
+	// rec records virtual-time spans when Config.RecordSpans is set; nil
+	// otherwise (tracing disabled at zero cost).
+	rec *trace.Recorder
 
 	// recovery counts injected fault events (backends record their own
 	// recovery activity; collect merges everything into Result.Recovery).
@@ -100,6 +105,10 @@ func newRig(cfg Config) *rig {
 		eng.SetTracer(func(t time.Duration, proc, msg string) {
 			fmt.Fprintf(cfg.Trace, "%12.6f %-14s %s\n", t.Seconds(), proc, msg)
 		})
+	}
+	if cfg.RecordSpans {
+		r.rec = trace.NewRecorder()
+		eng.SetRecorder(r.rec)
 	}
 
 	buildLustre := func() {
@@ -249,21 +258,27 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			// Task-launch serialization: wait until the consumer has
 			// consumed the previous frame. Not part of production time —
 			// in a real coarse-grained workflow this producer task has not
-			// been scheduled yet.
+			// been scheduled yet (hence a detail span, not idle).
 			ann.Begin("task_launch_wait")
+			start := p.Now()
 			gate.request.WaitSeq(p, f+1)
+			emitSpan(p, "task_launch_wait", trace.ClassDetail, start)
 			ann.End("task_launch_wait")
 		}
 
 		// MD compute: one stride of steps (jittered as a block).
 		ann.Begin("md_compute")
+		start := p.Now()
 		p.Sleep(p.Rand().Jitter(r.cfg.frequency, r.cfg.ComputeJitter))
+		emitSpan(p, "md_compute", trace.ClassCompute, start)
 		ann.End("md_compute")
 
 		// Serialize the frame (CPU cost proportional to size).
 		ann.Begin("serialize")
+		start = p.Now()
 		data := r.framePayload(pair, f)
 		p.Sleep(cpuTime(data.Size(), 2.5e9))
+		emitSpan(p, "serialize", trace.ClassCompute, start)
 		ann.End("serialize")
 
 		path := pairPath(pair, f)
@@ -277,16 +292,22 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			}
 		default:
 			ann.Begin("write_single_buf")
+			start = p.Now()
 			if err := fs.WriteFile(p, path, data); err != nil {
 				panic(fmt.Errorf("core: producer write %s: %w", path, err))
 			}
+			emitSpan(p, "write_single_buf", trace.ClassMovement, start)
 			ann.End("write_single_buf")
 		}
 		if gate != nil {
 			ann.Begin("explicit_sync")
+			start = p.Now()
 			gate.post.Post(p)
+			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
 			ann.End("explicit_sync")
 		}
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "workflow", Name: "frame_produced",
+			Start: p.Now(), Bytes: data.Size(), Attr: path})
 		p.Tracef("produced frame %d (%d bytes)", f, data.Size())
 	}
 	r.prodProfiles[pair] = ann.Profile()
@@ -313,7 +334,9 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			// cost the paper reports as consumer idle time.
 			gate.request.Post(p)
 			ann.Begin("explicit_sync")
+			start := p.Now()
 			gate.post.WaitSeq(p, f+1)
+			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
 			ann.End("explicit_sync")
 		}
 		var data vfs.Payload
@@ -326,13 +349,17 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			data = got
 		default:
 			ann.Begin("read_single_buf")
+			start := p.Now()
 			got, err := fs.ReadFile(p, pairPath(pair, f))
 			if err != nil {
 				panic(fmt.Errorf("core: consumer read %s: %w", pairPath(pair, f), err))
 			}
+			emitSpan(p, "read_single_buf", trace.ClassMovement, start)
 			ann.End("read_single_buf")
 			data = got
 		}
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "workflow", Name: "frame_consumed",
+			Start: p.Now(), Bytes: data.Size()})
 		p.Tracef("consumed frame %d (%d bytes)", f, data.Size())
 		r.framesRead++
 		r.bytesRead += data.Size()
@@ -345,10 +372,14 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		// Deserialize, then emulate the analytics computation for one
 		// frame period (paper §IV-C).
 		ann.Begin("deserialize")
+		start := p.Now()
 		p.Sleep(cpuTime(data.Size(), 3.0e9))
+		emitSpan(p, "deserialize", trace.ClassCompute, start)
 		ann.End("deserialize")
 		ann.Begin("analytics")
+		start = p.Now()
 		p.Sleep(r.cfg.frequency)
+		emitSpan(p, "analytics", trace.ClassCompute, start)
 		ann.End("analytics")
 	}
 	r.consProfiles[pair] = ann.Profile()
@@ -386,6 +417,13 @@ func (r *rig) verifyFrame(pair, f int, data []byte) error {
 // cpuTime converts a byte count at a processing rate into compute time.
 func cpuTime(n int64, bytesPerSec float64) time.Duration {
 	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}
+
+// emitSpan records one workflow-level span covering [start, now). A no-op
+// (one nil check, zero allocations) when span tracing is off.
+func emitSpan(p *sim.Proc, name string, class trace.Class, start sim.Time) {
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "workflow", Name: name,
+		Class: class, Start: start, Dur: p.Now() - start})
 }
 
 // defaultDyadParams re-exports dyad.DefaultParams for ablation tests and

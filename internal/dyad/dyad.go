@@ -32,6 +32,7 @@ import (
 	"repro/internal/kvs"
 	"repro/internal/locks"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 	"repro/internal/xfs"
 )
@@ -301,6 +302,16 @@ func (c *Client) Node() *cluster.Node { return c.broker.node }
 func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vfs.Payload) error {
 	path = vfs.Clean(path)
 	defer ann.Region("dyad_produce")()
+	// The whole produce call is data movement in the paper's decomposition
+	// (the producer never waits on consumers), so one Movement span covers
+	// it; component detail (ssd, kvs, net) nests inside.
+	if rec := p.Rec(); rec != nil {
+		start := p.Now()
+		defer func() {
+			rec.Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "dyad_produce",
+				Class: trace.ClassMovement, Start: start, Dur: p.Now() - start, Bytes: pl.Size(), Attr: path})
+		}()
+	}
 
 	ann.Begin("dyad_prod_write")
 	var werr error
@@ -355,6 +366,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 	flow := flowOf(path)
 
 	// --- Synchronization (dyad_fetch) ---
+	fetchStart := p.Now()
 	ann.Begin("dyad_fetch")
 	var m meta
 	if c.sys.params.NoAdaptiveSync {
@@ -382,6 +394,18 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		m = decodeMeta(raw)
 	}
 	ann.End("dyad_fetch")
+	// Paper decomposition (SplitConsumer): the metadata fetch is idle time,
+	// everything after it — client overhead, remote pull, cache store, local
+	// read — is data movement. Two disjoint workflow spans mirror that.
+	if rec := p.Rec(); rec != nil {
+		rec.Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "dyad_fetch",
+			Class: trace.ClassIdle, Start: fetchStart, Dur: p.Now() - fetchStart, Attr: path})
+		xferStart := p.Now()
+		defer func() {
+			rec.Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "dyad_xfer",
+				Class: trace.ClassMovement, Start: xferStart, Dur: p.Now() - xferStart, Attr: path})
+		}()
+	}
 
 	// Client-library path resolution and cache management (movement
 	// overhead of the middleware versus a raw filesystem call).
@@ -485,6 +509,8 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 		c.sys.Recovery.Timeouts++
 		c.sys.Recovery.RecoveryTime += params.FetchTimeout
 		p.Sleep(params.FetchTimeout)
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "fetch_timeout",
+			Class: trace.ClassRecovery, Start: p.Now() - params.FetchTimeout, Dur: params.FetchTimeout, Attr: path})
 		if attempt >= params.FetchRetry.Max {
 			cause := fmt.Errorf("dyad: broker %s: %w: %w", owner.node.Name(), faults.ErrTimeout, faults.ErrBrokerDown)
 			return c.fetchDegraded(p, owner, path, cause)
@@ -493,6 +519,8 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 		delay := params.FetchRetry.Delay(attempt)
 		c.sys.Recovery.RecoveryTime += delay
 		p.Sleep(delay)
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "fetch_backoff",
+			Class: trace.ClassRecovery, Start: p.Now() - delay, Dur: delay, Attr: path})
 	}
 
 	// Broker-side read under a shared lock, then an RDMA-style pull back
@@ -535,18 +563,24 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 // fall back to the shared-filesystem mirror when the device itself is gone.
 func (c *Client) fetchDegraded(p *sim.Proc, owner *Broker, path string, cause error) (vfs.Payload, error) {
 	if got, ok := owner.staging.Tree().Get(path); ok && !errors.Is(cause, faults.ErrDeviceFailed) {
+		start := p.Now()
 		if _, err := owner.node.SSD.Read(p, got.Size()); err == nil {
 			c.sys.cl.Transfer(p, owner.node, c.broker.node, got.Size())
 			c.sys.Recovery.DegradedReads++
 			c.sys.Recovery.DegradedBytes += got.Size()
+			p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "degraded_read",
+				Class: trace.ClassRecovery, Start: start, Dur: p.Now() - start, Bytes: got.Size(), Attr: path})
 			return got, nil
 		}
 	}
 	if fb := c.fallbackFS(); fb != nil {
+		start := p.Now()
 		got, err := fb.ReadFile(p, path)
 		if err == nil {
 			c.sys.Recovery.DegradedReads++
 			c.sys.Recovery.DegradedBytes += got.Size()
+			p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "degraded_read",
+				Class: trace.ClassRecovery, Start: start, Dur: p.Now() - start, Bytes: got.Size(), Attr: "mirror"})
 			return got, nil
 		}
 		cause = fmt.Errorf("%w (fallback: %v)", cause, err)

@@ -33,6 +33,11 @@ type Options struct {
 	// per available core). Results are identical for any worker count; only
 	// wall-clock time changes.
 	Workers int
+	// Trace, when non-nil, enables span tracing on one repetition of each
+	// configuration and collects the traces for Chrome export plus
+	// per-experiment breakdown reports. Recording is observation-only:
+	// every measured number is byte-identical with or without it.
+	Trace *Collector
 }
 
 // Defaults fills unset options with paper-faithful values.
@@ -186,9 +191,19 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 	if cfg.Backend == core.Lustre {
 		cfg.LustreNoise = true
 	}
-	results, err := core.RepeatWorkers(cfg, o.Reps, o.Workers)
+	cfgs := core.RepeatConfigs(cfg, o.Reps)
+	if o.Trace != nil {
+		// Trace the first repetition only: one representative timeline per
+		// configuration keeps trace volume linear in the sweep, and the
+		// schedule keeps every rep's seed identical to the untraced run.
+		cfgs[0].RecordSpans = true
+	}
+	results, err := core.RunMany(cfgs, o.Workers)
 	if err != nil {
 		return core.Aggregate{}, err
+	}
+	if o.Trace != nil {
+		o.Trace.Add(cfg.Label(), results)
 	}
 	return core.Aggregated(results), nil
 }

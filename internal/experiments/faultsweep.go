@@ -55,6 +55,7 @@ func FaultSweep(o Options) (*Report, error) {
 	type key struct{ setup, rate int }
 	var keys []key
 	var cfgs []core.Config
+	var traceLabels []string
 	for si, s := range setups {
 		for ri, rate := range rates {
 			spec := s.spec.Scale(rate)
@@ -72,14 +73,30 @@ func FaultSweep(o Options) (*Report, error) {
 				case core.DYAD:
 					cfg.LustreFallback = true
 				}
+				label := ""
+				if o.Trace != nil && rep == 0 {
+					// One traced rep per (backend, rate) cell: the fault plan
+					// is seed-deterministic, so the traced rep's recovery
+					// spans line up with the cell's rep-0 metrics exactly.
+					cfg.RecordSpans = true
+					label = fmt.Sprintf("faults %s %gx", s.backend, rate)
+				}
 				keys = append(keys, key{si, ri})
 				cfgs = append(cfgs, cfg)
+				traceLabels = append(traceLabels, label)
 			}
 		}
 	}
 	results, err := core.RunMany(cfgs, o.Workers)
 	if err := tolerateFaultKills(err); err != nil {
 		return nil, err
+	}
+	if o.Trace != nil {
+		for i, label := range traceLabels {
+			if label != "" {
+				o.Trace.Add(label, results[i:i+1])
+			}
+		}
 	}
 
 	r := &Report{

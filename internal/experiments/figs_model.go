@@ -78,9 +78,16 @@ func consumerEnsemble(b core.Backend, model models.Model, o Options) (*thicket.E
 	if reps > 3 {
 		reps = 3 // trees are stable; keep profile memory bounded
 	}
-	results, err := core.RepeatWorkers(cfg, reps, o.Workers)
+	cfgs := core.RepeatConfigs(cfg, reps)
+	if o.Trace != nil {
+		cfgs[0].RecordSpans = true
+	}
+	results, err := core.RunMany(cfgs, o.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if o.Trace != nil {
+		o.Trace.Add(cfg.Label(), results)
 	}
 	for _, res := range results {
 		profiles = append(profiles, res.ConsumerProfiles...)

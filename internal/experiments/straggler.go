@@ -45,6 +45,11 @@ func Straggler(o Options) (*Report, error) {
 			if injected {
 				cfg.StragglerFactor = factor
 			}
+			if o.Trace != nil {
+				// All four runs are distinct configurations; trace each so
+				// the straggler's recovery-free skew is visible per process.
+				cfg.RecordSpans = true
+			}
 			keys = append(keys, key{b, injected})
 			cfgs = append(cfgs, cfg)
 		}
@@ -52,6 +57,11 @@ func Straggler(o Options) (*Report, error) {
 	runs, err := core.RunMany(cfgs, o.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if o.Trace != nil {
+		for i, res := range runs {
+			o.Trace.Add(fmt.Sprintf("straggler %s injected=%v", keys[i].b, keys[i].injected), []*core.Result{res})
+		}
 	}
 	results := map[key][2]float64{} // mean, worst (seconds)
 	for i, res := range runs {

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/caliper"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/thicket"
+	"repro/internal/trace"
+)
+
+// Collector gathers the span traces emitted by traced repetitions across an
+// experiment sweep. It keeps every traced run verbatim for Chrome trace
+// export and folds each into paper-style time-breakdown rows: per role
+// (producer/consumer), the per-process mean±std of movement, idle, compute,
+// and recovery time, derived from the span stream through the same
+// caliper/thicket ensemble path the Fig. 9/10 analysis uses.
+//
+// Pass one through Options.Trace to enable tracing: each experiment then
+// records spans on one repetition per configuration (recording is
+// observation-only, so measurements are unchanged) and the driver drains
+// the breakdown rows into a report after each experiment.
+type Collector struct {
+	// Runs holds every traced run in collection order, ready for
+	// trace.WriteChrome.
+	Runs []trace.Run
+
+	rows [][]string
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// breakdownCols is the column set of the drained breakdown report. total is
+// movement+idle (the paper's production/consumption time); compute is the
+// modeled application time between them; recovery overlaps the others and
+// is zero on healthy runs.
+var breakdownCols = []string{"config", "role", "procs", "movement", "idle", "compute", "recovery", "total"}
+
+// Add records every result in the batch that carries spans: one Chrome run
+// each, plus one producer and one consumer breakdown row. Results without
+// spans (untraced repetitions, runs killed by an injected fault) are
+// skipped.
+func (c *Collector) Add(label string, results []*core.Result) {
+	for _, res := range results {
+		if res == nil || len(res.Spans) == 0 {
+			continue
+		}
+		c.Runs = append(c.Runs, trace.Run{Label: label, Spans: res.Spans})
+		profiles := trace.Profiles(res.Spans)
+		var prod, cons []*caliper.Profile
+		for _, p := range profiles {
+			switch {
+			case strings.HasPrefix(p.Proc, "producer"):
+				prod = append(prod, p)
+			case strings.HasPrefix(p.Proc, "consumer"):
+				cons = append(cons, p)
+			}
+		}
+		c.rows = append(c.rows, breakdownRow(label, "producer", prod))
+		c.rows = append(c.rows, breakdownRow(label, "consumer", cons))
+	}
+}
+
+// breakdownRow ensembles one role's span-derived profiles and renders its
+// class totals (mean±std across the role's processes).
+func breakdownRow(label, role string, profs []*caliper.Profile) []string {
+	ens := thicket.FromProfiles(profs)
+	classMean := func(class string) float64 {
+		if n := ens.Find(class); n != nil {
+			return n.Total.Mean
+		}
+		return 0
+	}
+	cell := func(class string) string {
+		if n := ens.Find(class); n != nil {
+			return fmtMS(n.Total)
+		}
+		return fmtMS(stats.Summary{})
+	}
+	total := classMean("movement") + classMean("idle")
+	return []string{
+		label, role, strconv.Itoa(len(profs)),
+		cell("movement"), cell("idle"), cell("compute"), cell("recovery"),
+		stats.FormatSeconds(total),
+	}
+}
+
+// Drain returns the breakdown rows accumulated since the last call as a
+// report, or nil if no traced run contributed. The pending rows are
+// cleared; the Chrome runs are kept.
+func (c *Collector) Drain(id string) *Report {
+	if c == nil || len(c.rows) == 0 {
+		return nil
+	}
+	r := &Report{
+		ID:      id + "-trace",
+		Title:   "span-trace time breakdown (per process, movement vs idle, Fig. 4-7 methodology)",
+		Columns: breakdownCols,
+		Rows:    c.rows,
+	}
+	c.rows = nil
+	return r
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrNoSuchKey marks a lookup of a key that has not been committed. Callers
@@ -74,7 +75,10 @@ func (s *Store) Server() *sim.Resource { return s.server }
 // process pays the round trip from its node plus queued server time.
 func (s *Store) Commit(p *sim.Proc, from *cluster.Node, key string, value []byte) {
 	s.Commits++
+	start := p.Now()
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes+int64(len(value)), 64, s.server, s.params.CommitService)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "commit",
+		Start: start, Dur: p.Now() - start, Bytes: int64(len(value)), Attr: key})
 	s.data[key] = value
 	if l, ok := s.watches[key]; ok {
 		l.Fire()
@@ -91,7 +95,10 @@ func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, err
 	if ok {
 		resp += int64(len(v))
 	}
+	start := p.Now()
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes, resp, s.server, s.params.LookupService)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "lookup",
+		Start: start, Dur: p.Now() - start, Attr: key})
 	if !ok {
 		return nil, fmt.Errorf("kvs: lookup %q: %w", key, ErrNoSuchKey)
 	}
@@ -122,7 +129,10 @@ func (s *Store) WaitFor(p *sim.Proc, from *cluster.Node, key string) []byte {
 		l = &sim.Latch{}
 		s.watches[key] = l
 	}
+	blockStart := p.Now()
 	l.Wait(p)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "watch_block",
+		Start: blockStart, Dur: p.Now() - blockStart, Attr: key})
 	v := s.data[key]
 	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
 	return v
@@ -143,7 +153,10 @@ func (s *Store) WatchWait(p *sim.Proc, from *cluster.Node, key string) []byte {
 		l = &sim.Latch{}
 		s.watches[key] = l
 	}
+	blockStart := p.Now()
 	l.Wait(p)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "watch_block",
+		Start: blockStart, Dur: p.Now() - blockStart, Attr: key})
 	v := s.data[key]
 	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
 	return v

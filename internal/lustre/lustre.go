@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -228,6 +229,8 @@ func (f *FS) await(p *sim.Proc, downUntil *sim.Time, failedOver *bool) {
 		f.Recovery.Timeouts++
 		f.Recovery.RecoveryTime += f.params.RPCTimeout
 		p.Sleep(f.params.RPCTimeout)
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "rpc_timeout",
+			Class: trace.ClassRecovery, Start: p.Now() - f.params.RPCTimeout, Dur: f.params.RPCTimeout})
 		if attempt >= f.params.Retry.Max {
 			break
 		}
@@ -235,6 +238,8 @@ func (f *FS) await(p *sim.Proc, downUntil *sim.Time, failedOver *bool) {
 		delay := f.params.Retry.Delay(attempt)
 		f.Recovery.RecoveryTime += delay
 		p.Sleep(delay)
+		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "rpc_backoff",
+			Class: trace.ClassRecovery, Start: p.Now() - delay, Dur: delay})
 		if p.Now() >= *downUntil {
 			// The server came back during backoff; the resend succeeds.
 			return
@@ -244,6 +249,8 @@ func (f *FS) await(p *sim.Proc, downUntil *sim.Time, failedOver *bool) {
 	f.Recovery.Failovers++
 	f.Recovery.RecoveryTime += f.params.FailoverDelay
 	p.Sleep(f.params.FailoverDelay)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "failover",
+		Class: trace.ClassRecovery, Start: p.Now() - f.params.FailoverDelay, Dur: f.params.FailoverDelay})
 }
 
 // mdsRPC charges one metadata round trip from the client node, waiting out
@@ -251,14 +258,20 @@ func (f *FS) await(p *sim.Proc, downUntil *sim.Time, failedOver *bool) {
 func (f *FS) mdsRPC(p *sim.Proc, from *cluster.Node) {
 	f.await(p, &f.mdsDownUntil, &f.mdsFailedOver)
 	f.MDSOps++
+	start := p.Now()
 	f.cl.RPC(p, from, f.mdsNode, 256, 128, f.mds, f.params.MDSService)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "mds_rpc",
+		Start: start, Dur: p.Now() - start})
 }
 
 // ostRPC charges one OST round trip, waiting out an OSS outage first.
 func (f *FS) ostRPC(p *sim.Proc, from *cluster.Node, o *ost, reqBytes, respBytes int64, service time.Duration) {
 	f.await(p, &o.downUntil, &o.failedOver)
 	f.OSTOps++
+	start := p.Now()
 	f.cl.RPC(p, from, o.node, reqBytes, respBytes, o.srv, service)
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "ost_rpc",
+		Start: start, Dur: p.Now() - start, Bytes: reqBytes + respBytes, Attr: o.srv.Name()})
 }
 
 // ostFor returns the OST index for chunk k of a file whose layout starts

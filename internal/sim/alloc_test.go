@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// steadyAllocs measures the total heap allocations of one engine lifetime
+// delivering `events` sleep events.
+func steadyAllocs(t *testing.T, events int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		e := NewEngine(1)
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < events; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// The kernel's steady state is allocation-free (DESIGN.md §3c), and the
+// span-tracer hooks must keep it that way when tracing is off: scaling the
+// event count 100x must not add a single allocation — everything measured
+// belongs to engine setup. This is the tracing-off half of the tentpole's
+// zero-cost contract; the instrumented components pay one nil check per
+// operation and nothing else.
+func TestSteadyStateZeroAllocsWithTracingOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation budget checked without -race")
+	}
+	base := steadyAllocs(t, 200)
+	long := steadyAllocs(t, 20_000)
+	if delta := long - base; delta > 0 {
+		t.Fatalf("steady state allocates: %0.f allocs over 19800 extra events (base %.0f, long %.0f)", delta, base, long)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Time is a point in virtual time, expressed as the elapsed duration since
@@ -80,6 +82,7 @@ type Engine struct {
 	seed     uint64
 	failure  error
 	tracer   func(t Time, procName, msg string)
+	rec      *trace.Recorder
 
 	// Watchdog limits (0 = unlimited); see SetWatchdog.
 	maxEvents int64
@@ -124,6 +127,16 @@ func (e *Engine) Seed() uint64 { return e.seed }
 // SetTracer installs a callback invoked by Proc.Tracef. A nil tracer (the
 // default) makes tracing free.
 func (e *Engine) SetTracer(fn func(t Time, procName, msg string)) { e.tracer = fn }
+
+// SetRecorder installs a span recorder: modeled operations emit virtual-time
+// spans through it (see Proc.Rec and package trace). A nil recorder (the
+// default) disables span tracing at zero cost — emission sites pay one nil
+// check and never allocate.
+func (e *Engine) SetRecorder(r *trace.Recorder) { e.rec = r }
+
+// Recorder returns the installed span recorder, or nil when span tracing
+// is off.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 
 // SetWatchdog arms run limits: Run aborts with an error wrapping ErrWatchdog
 // once it has fired more than maxEvents events or virtual time passes

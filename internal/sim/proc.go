@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Proc is a simulated process: a goroutine that runs user code and yields to
@@ -101,6 +103,11 @@ func (p *Proc) Now() Time { return p.e.now }
 
 // Rand returns the process's deterministic random stream.
 func (p *Proc) Rand() *RNG { return &p.rng }
+
+// Rec returns the engine's span recorder, nil when span tracing is off.
+// Instrumentation sites call p.Rec().Emit(...) unconditionally (Emit is
+// nil-safe) or guard extra work with p.Rec().Enabled().
+func (p *Proc) Rec() *trace.Recorder { return p.e.rec }
 
 // Sleep advances the process by d of virtual time. Negative d panics;
 // zero d still yields (other events at the same instant run first).

@@ -12,7 +12,12 @@ import (
 
 // Summary describes a sample of float64 observations.
 type Summary struct {
-	N      int
+	// N counts the observations summarized; NaN inputs are excluded.
+	N int
+	// NaNs counts NaN inputs dropped from the sample. A nonzero count
+	// means an upstream computation produced undefined values (e.g. a
+	// ratio over zero) — the summary describes only the defined ones.
+	NaNs   int
 	Mean   float64
 	Std    float64
 	Min    float64
@@ -20,8 +25,33 @@ type Summary struct {
 	Median float64
 }
 
-// Summarize computes a Summary of xs. An empty sample yields zeros.
+// Summarize computes a Summary of xs. An empty sample yields zeros. NaN
+// inputs are filtered out and counted in Summary.NaNs rather than silently
+// poisoning every statistic (one NaN used to turn Mean, Std, and — through
+// sort's undefined NaN ordering — Min/Max/Median into garbage).
 func Summarize(xs []float64) Summary {
+	nans := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			nans++
+		}
+	}
+	if nans == 0 {
+		return summarizeDefined(xs)
+	}
+	valid := make([]float64, 0, len(xs)-nans)
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			valid = append(valid, x)
+		}
+	}
+	s := summarizeDefined(valid)
+	s.NaNs = nans
+	return s
+}
+
+// summarizeDefined summarizes a NaN-free sample.
+func summarizeDefined(xs []float64) Summary {
 	s := Summary{N: len(xs)}
 	if len(xs) == 0 {
 		return s
@@ -47,10 +77,14 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0-100) of an ascending-sorted
-// sample using linear interpolation.
+// sample using linear interpolation. The sample must be NaN-free (NaN has
+// no rank; Summarize filters NaNs before sorting) — a NaN p returns NaN.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

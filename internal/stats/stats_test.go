@@ -118,3 +118,52 @@ func TestSummaryInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: one NaN observation used to poison the whole summary — the
+// running sum made Mean and Std NaN, and sort.Float64s' undefined NaN
+// ordering corrupted Min/Max/Median. NaNs must be filtered and counted.
+func TestSummarizeFiltersNaNs(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{nan, 1, 2, nan, 3, 4, 5, nan})
+	if s.N != 5 || s.NaNs != 3 {
+		t.Fatalf("N=%d NaNs=%d, want 5 and 3", s.N, s.NaNs)
+	}
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("stats over defined values wrong: %+v", s)
+	}
+	if math.IsNaN(s.Std) || s.Std == 0 {
+		t.Fatalf("Std = %v, want finite nonzero", s.Std)
+	}
+}
+
+// An all-NaN sample has nothing to summarize: zeros plus the NaN count.
+func TestSummarizeAllNaNs(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{nan, nan})
+	if s.N != 0 || s.NaNs != 2 {
+		t.Fatalf("N=%d NaNs=%d, want 0 and 2", s.N, s.NaNs)
+	}
+	if s.Mean != 0 || s.Std != 0 || s.Min != 0 || s.Max != 0 || s.Median != 0 {
+		t.Fatalf("all-NaN summary not zero: %+v", s)
+	}
+}
+
+// A NaN-free sample must summarize exactly as before the NaN filter —
+// same N, no spurious NaNs counter, identical float accumulation order.
+func TestSummarizeNaNFreeUnchanged(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4}
+	s := Summarize(xs)
+	if s.NaNs != 0 || s.N != 4 {
+		t.Fatalf("NaN-free sample: N=%d NaNs=%d", s.N, s.NaNs)
+	}
+	want := (0.1 + 0.2 + 0.3 + 0.4) / 4 // same left-to-right summation
+	if s.Mean != want {
+		t.Fatalf("Mean = %v, want %v (bit-exact)", s.Mean, want)
+	}
+}
+
+func TestPercentileNaNP(t *testing.T) {
+	if got := Percentile([]float64{1, 2, 3}, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile with NaN p = %v, want NaN", got)
+	}
+}

@@ -154,7 +154,9 @@ func renderNode(w io.Writer, n *Node, depth int) {
 		strings.Repeat("  ", depth), n.Name,
 		stats.FormatSeconds(n.Total.Mean), stats.FormatSeconds(n.Total.Std), n.Visits.Mean)
 	kids := append([]*Node(nil), n.Children...)
-	sort.Slice(kids, func(i, j int) bool { return kids[i].Total.Mean > kids[j].Total.Mean })
+	// Stable sort: ties on mean total keep merge (first-contribution)
+	// order — same determinism contract as caliper's renderNode.
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].Total.Mean > kids[j].Total.Mean })
 	for _, c := range kids {
 		renderNode(w, c, depth+1)
 	}

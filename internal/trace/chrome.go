@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Run is one traced workflow run: a label (config + repetition) and its
+// span stream. WriteChrome renders each run as one Chrome trace process.
+type Run struct {
+	Label string
+	Spans []Span
+}
+
+// WriteChrome serializes traced runs in the Chrome trace-event JSON format
+// (the "JSON Object Format" with a traceEvents array), loadable in
+// Perfetto and chrome://tracing. Each run becomes one process (pid = run
+// index + 1) named by its label; each simulated proc becomes one thread
+// (tid = order of first appearance). Spans are complete events (ph "X")
+// with ts/dur in virtual microseconds at nanosecond resolution; zero-length
+// spans become instant events (ph "i").
+//
+// The output is written with a fixed field order and fixed number
+// formatting, so a deterministic span stream serializes to deterministic
+// bytes — the property the -j1 vs -j8 trace identity check relies on.
+func WriteChrome(w io.Writer, runs []Run) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for ri, run := range runs {
+		pid := ri + 1
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+			pid, quote(run.Label)))
+		tids := make(map[string]int)
+		for _, s := range run.Spans {
+			tid, ok := tids[s.Proc]
+			if !ok {
+				tid = len(tids) + 1
+				tids[s.Proc] = tid
+				emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+					pid, tid, quote(s.Proc)))
+			}
+			args := ""
+			if s.Bytes != 0 {
+				args = fmt.Sprintf(",\"args\":{\"bytes\":%d}", s.Bytes)
+			}
+			if s.Attr != "" {
+				if args == "" {
+					args = fmt.Sprintf(",\"args\":{\"attr\":%s}", quote(s.Attr))
+				} else {
+					args = fmt.Sprintf(",\"args\":{\"bytes\":%d,\"attr\":%s}", s.Bytes, quote(s.Attr))
+				}
+			}
+			if s.Dur == 0 {
+				emit(fmt.Sprintf("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%s,\"cat\":%s%s}",
+					pid, tid, us(s.Start), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+				continue
+			}
+			emit(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s%s}",
+				pid, tid, us(s.Start), us(s.Dur), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// us renders a virtual duration as microseconds at nanosecond resolution:
+// an integer when whole, otherwise exactly three fractional digits. Fixed
+// formatting keeps the serialized trace byte-stable.
+func us(d time.Duration) string {
+	ns := int64(d)
+	if ns%1000 == 0 {
+		return strconv.FormatInt(ns/1000, 10)
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// quote JSON-escapes a string (names and labels are ASCII identifiers, but
+// escaping keeps arbitrary attributes safe).
+func quote(s string) string { return strconv.Quote(s) }

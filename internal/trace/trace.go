@@ -1,0 +1,195 @@
+// Package trace is the deterministic virtual-time span tracer of the
+// simulation substrate. Every modeled operation — an SSD read, a network
+// transfer, an RPC, a KVS lookup, a journal commit, a recovery wait —
+// can emit one Span stamped from the virtual clock. Because spans carry
+// only virtual timestamps and are appended in event-execution order,
+// a run's span stream is a pure function of (config, seed): byte-identical
+// across worker counts and across hosts.
+//
+// Tracing is a zero-cost abstraction when disabled: the Recorder is used
+// through a nil pointer, Emit on a nil Recorder returns immediately, and
+// Span values passed by value never escape to the heap. The steady-state
+// allocation budget of DESIGN.md §3c is unchanged with tracing off.
+//
+// Span classes implement the paper's time-decomposition methodology
+// (Figs. 4-7): ClassMovement/ClassIdle/ClassCompute spans are emitted at
+// workflow level and are disjoint in time, so summing them per class
+// reproduces the caliper/thicket movement-vs-idle split. ClassRecovery
+// spans mark fault-recovery waits (timeouts, backoff, failover, link
+// stalls); they nest inside workflow spans and are reported as a separate
+// overlapping column, mirroring faults.Metrics.RecoveryTime. ClassDetail
+// spans are fine-grained component operations for the Chrome timeline and
+// the per-operation counters; they are excluded from the breakdown sums.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Class tags how a span participates in the paper-style time breakdown.
+type Class uint8
+
+const (
+	// ClassDetail marks fine-grained component operations (SSD I/O, wire
+	// transfers, RPC legs, journal commits). Detail spans nest inside
+	// workflow spans and are excluded from breakdown sums.
+	ClassDetail Class = iota
+	// ClassMovement marks workflow-level data-movement time (the paper's
+	// "data movement": write/read/produce/consume call time).
+	ClassMovement
+	// ClassIdle marks workflow-level synchronization idle time (explicit
+	// sync waits, DYAD metadata fetch waits).
+	ClassIdle
+	// ClassCompute marks modeled application compute (MD step time,
+	// serialization, analytics).
+	ClassCompute
+	// ClassRecovery marks fault-recovery waits (RPC timeouts, retry
+	// backoff, failover, link stalls, degraded reads). Recovery spans
+	// overlap movement/idle spans and are reported as their own column.
+	ClassRecovery
+)
+
+// String returns the class name used in call paths and trace categories.
+func (c Class) String() string {
+	switch c {
+	case ClassMovement:
+		return "movement"
+	case ClassIdle:
+		return "idle"
+	case ClassCompute:
+		return "compute"
+	case ClassRecovery:
+		return "recovery"
+	default:
+		return "detail"
+	}
+}
+
+// Span is one modeled operation on the virtual timeline. Start is virtual
+// time since the beginning of the run; Dur is the operation's virtual
+// duration (zero for instantaneous markers). Bytes is the payload moved,
+// when the operation moves data. Attr is an optional free-form attribute
+// (a device name, a file path, a fault target).
+type Span struct {
+	Proc      string
+	Component string
+	Name      string
+	Class     Class
+	Start     time.Duration
+	Dur       time.Duration
+	Bytes     int64
+	Attr      string
+}
+
+// Recorder accumulates the spans of one run. The zero value is ready to
+// use. A nil *Recorder is valid and inert: every method is nil-safe, so
+// instrumentation sites call Emit unconditionally and pay only a nil check
+// when tracing is off.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit appends one span. On a nil recorder it is a no-op; the span value
+// stays on the caller's stack, so disabled tracing allocates nothing.
+func (r *Recorder) Emit(s Span) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Enabled reports whether spans are being recorded. Sites that must build
+// an attribute string or capture a start time guard on it so disabled
+// tracing skips the work entirely.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Len returns the number of recorded spans (0 on a nil recorder).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Spans returns the recorded spans in emission order (event-execution
+// order, deterministic). The slice is owned by the recorder.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// OpStat aggregates every span of one (component, name) operation:
+// invocation count, bytes moved, total/min/max duration, and a coarse
+// log-scale duration histogram.
+type OpStat struct {
+	Component string
+	Name      string
+	Class     Class
+	Count     int64
+	Bytes     int64
+	Total     time.Duration
+	Min       time.Duration
+	Max       time.Duration
+	// Hist buckets span durations by power-of-four microseconds:
+	// bucket i counts durations d with 4^(i-1)µs <= d < 4^i µs (bucket 0
+	// is d < 1µs, the last bucket is unbounded).
+	Hist [HistBuckets]int64
+}
+
+// HistBuckets is the number of duration histogram buckets in OpStat.
+const HistBuckets = 9
+
+// histBucket maps a duration to its OpStat histogram bucket.
+func histBucket(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < HistBuckets-1 {
+		us >>= 2
+		b++
+	}
+	return b
+}
+
+// Aggregate folds a span stream into per-operation statistics, sorted by
+// (component, name). The result is deterministic for a deterministic span
+// stream.
+func Aggregate(spans []Span) []OpStat {
+	idx := make(map[[2]string]int)
+	var stats []OpStat
+	for _, s := range spans {
+		key := [2]string{s.Component, s.Name}
+		i, ok := idx[key]
+		if !ok {
+			i = len(stats)
+			idx[key] = i
+			stats = append(stats, OpStat{
+				Component: s.Component, Name: s.Name, Class: s.Class,
+				Min: s.Dur, Max: s.Dur,
+			})
+		}
+		st := &stats[i]
+		st.Count++
+		st.Bytes += s.Bytes
+		st.Total += s.Dur
+		if s.Dur < st.Min {
+			st.Min = s.Dur
+		}
+		if s.Dur > st.Max {
+			st.Max = s.Dur
+		}
+		st.Hist[histBucket(s.Dur)]++
+	}
+	sort.SliceStable(stats, func(i, j int) bool {
+		if stats[i].Component != stats[j].Component {
+			return stats[i].Component < stats[j].Component
+		}
+		return stats[i].Name < stats[j].Name
+	})
+	return stats
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Emit(Span{Proc: "p", Name: "op", Dur: time.Millisecond})
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("nil recorder Len = %d", r.Len())
+	}
+	if r.Spans() != nil {
+		t.Fatal("nil recorder returned spans")
+	}
+}
+
+func TestRecorderKeepsEmissionOrder(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("live recorder reports disabled")
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(Span{Proc: "p", Name: "op", Start: time.Duration(i)})
+	}
+	spans := r.Spans()
+	if len(spans) != 5 || r.Len() != 5 {
+		t.Fatalf("recorded %d spans, want 5", len(spans))
+	}
+	for i, s := range spans {
+		if s.Start != time.Duration(i) {
+			t.Fatalf("span %d has start %v: emission order not preserved", i, s.Start)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassDetail: "detail", ClassMovement: "movement", ClassIdle: "idle",
+		ClassCompute: "compute", ClassRecovery: "recovery",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spans := []Span{
+		{Proc: "p0", Component: "ssd", Name: "write", Dur: 3 * time.Microsecond, Bytes: 100},
+		{Proc: "p0", Component: "net", Name: "rpc", Dur: 10 * time.Microsecond},
+		{Proc: "p1", Component: "ssd", Name: "write", Dur: 5 * time.Microsecond, Bytes: 200},
+		{Proc: "p1", Component: "ssd", Name: "read", Dur: time.Microsecond, Bytes: 50},
+	}
+	stats := Aggregate(spans)
+	if len(stats) != 3 {
+		t.Fatalf("got %d op stats, want 3: %+v", len(stats), stats)
+	}
+	// Sorted by (component, name): net/rpc, ssd/read, ssd/write.
+	if stats[0].Component != "net" || stats[1].Name != "read" || stats[2].Name != "write" {
+		t.Fatalf("unexpected order: %+v", stats)
+	}
+	w := stats[2]
+	if w.Count != 2 || w.Bytes != 300 || w.Total != 8*time.Microsecond {
+		t.Fatalf("ssd/write stats wrong: %+v", w)
+	}
+	if w.Min != 3*time.Microsecond || w.Max != 5*time.Microsecond {
+		t.Fatalf("ssd/write min/max wrong: %+v", w)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0}, // < 1µs
+		{time.Microsecond, 1},      // [1µs, 4µs)
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},           // [4µs, 16µs)
+		{time.Millisecond, 5},               // 1000µs -> 4^5=1024 ceiling
+		{10 * time.Second, HistBuckets - 1}, // clamped to last bucket
+	}
+	for _, c := range cases {
+		if got := histBucket(c.d); got != c.want {
+			t.Fatalf("histBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestProfilesBuildClassTrees(t *testing.T) {
+	spans := []Span{
+		{Proc: "producer0", Name: "md_compute", Class: ClassCompute, Dur: 10 * time.Millisecond},
+		{Proc: "producer0", Component: "ssd", Name: "write", Class: ClassDetail, Dur: time.Millisecond},
+		{Proc: "producer0", Name: "write_buf", Class: ClassMovement, Dur: 2 * time.Millisecond},
+		{Proc: "consumer0", Name: "fetch", Class: ClassIdle, Dur: 5 * time.Millisecond},
+		{Proc: "producer0", Name: "write_buf", Class: ClassMovement, Dur: 2 * time.Millisecond},
+	}
+	profs := Profiles(spans)
+	if len(profs) != 2 {
+		t.Fatalf("got %d profiles, want 2", len(profs))
+	}
+	// First-emission order: producer0 first.
+	if profs[0].Proc != "producer0" || profs[1].Proc != "consumer0" {
+		t.Fatalf("profile order %q, %q", profs[0].Proc, profs[1].Proc)
+	}
+	p := profs[0]
+	if got := p.TotalOf("movement"); got != 4*time.Millisecond {
+		t.Fatalf("movement total %v, want 4ms", got)
+	}
+	if got := p.TotalOf("compute"); got != 10*time.Millisecond {
+		t.Fatalf("compute total %v, want 10ms", got)
+	}
+	// ClassDetail spans must not appear anywhere in the class trees.
+	if n := p.Root.Find("write"); n != nil {
+		t.Fatal("detail span leaked into breakdown profile")
+	}
+	wb := p.Root.Find("write_buf")
+	if wb == nil || wb.Visits != 2 {
+		t.Fatalf("op node under class missing or wrong visits: %+v", wb)
+	}
+}
+
+func buildTestRuns() []Run {
+	return []Run{
+		{Label: "run A", Spans: []Span{
+			{Proc: "producer0", Component: "workflow", Name: "md_compute", Class: ClassCompute, Start: 0, Dur: 1500 * time.Nanosecond},
+			{Proc: "producer0", Component: "ssd", Name: "write", Start: 1500 * time.Nanosecond, Dur: 2 * time.Microsecond, Bytes: 4096, Attr: "node0/ssd"},
+			{Proc: "consumer0", Component: "workflow", Name: "frame_consumed", Start: 4 * time.Microsecond}, // instant
+		}},
+		{Label: "run \"B\"", Spans: []Span{
+			{Proc: "consumer0", Component: "lustre", Name: "ost_rpc", Class: ClassRecovery, Start: time.Millisecond, Dur: 30 * time.Millisecond},
+		}},
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, buildTestRuns()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChrome emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete, instant int
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.Pid] = true
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		case "i":
+			instant++
+		}
+	}
+	// 2 process_name + 3 thread_name metadata records.
+	if meta != 5 || complete != 3 || instant != 1 {
+		t.Fatalf("event mix meta=%d complete=%d instant=%d, want 5/3/1", meta, complete, instant)
+	}
+	if !pids[1] || !pids[2] || len(pids) != 2 {
+		t.Fatalf("pids %v, want {1, 2}", pids)
+	}
+	// 1500ns must render as fractional microseconds, not truncate to 1µs.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "md_compute" && e.Dur != 1.5 {
+			t.Fatalf("md_compute dur %v µs, want 1.5", e.Dur)
+		}
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	runs := buildTestRuns()
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two serializations of the same runs differ")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -58,9 +59,12 @@ func (f *FS) Tree() *vfs.Tree { return f.tree }
 // The payload is stored by reference, never copied.
 func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Sleep(f.params.MetaLatency)
+	jStart := p.Now()
 	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
 		return vfs.PathError("write", path, err)
 	}
+	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "xfs", Name: "journal_commit",
+		Start: jStart, Dur: p.Now() - jStart, Bytes: f.params.JournalBytes, Attr: path})
 	if _, err := f.node.SSD.Write(p, pl.Size()); err != nil {
 		return vfs.PathError("write", path, err)
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/models"
+	"repro/internal/trace"
 )
 
 // Backend selects the data management solution of a workflow run.
@@ -114,6 +115,28 @@ func ModelByName(name string) (Model, error) { return models.ByName(name) }
 func CustomModel(name string, atoms int, stepsPerSecond float64, stride int) (Model, error) {
 	return models.Custom(name, atoms, stepsPerSecond, stride)
 }
+
+// TraceSpan is one virtual-time span of a traced run (Result.Spans when
+// Config.RecordSpans is set). See trace.Span for field semantics.
+type TraceSpan = trace.Span
+
+// TraceOpStat is one operation's aggregated counters (Result.SpanStats).
+type TraceOpStat = trace.OpStat
+
+// TraceRun pairs a label with one run's span stream for Chrome export.
+type TraceRun = trace.Run
+
+// WriteChromeTrace serializes traced runs as a Chrome trace-event JSON
+// document (loadable in Perfetto / chrome://tracing). Output is
+// byte-deterministic for deterministic span streams.
+func WriteChromeTrace(w io.Writer, runs []TraceRun) error { return trace.WriteChrome(w, runs) }
+
+// TraceCollector accumulates traced runs and paper-style time-breakdown
+// rows across experiments; attach one via ExperimentOptions.Trace.
+type TraceCollector = experiments.Collector
+
+// NewTraceCollector returns an empty trace collector.
+func NewTraceCollector() *TraceCollector { return experiments.NewCollector() }
 
 // ExperimentOptions tune paper-experiment execution.
 type ExperimentOptions = experiments.Options

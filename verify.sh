@@ -25,6 +25,25 @@ echo "== fault-matrix smoke: experiments faultsweep -quick (race) =="
 # dies with a wrapped sentinel; no panics, hangs, or data races.
 go run -race ./cmd/experiments -quick -q faultsweep
 
+echo "== traced-sweep determinism: -trace at -j1 vs -j8 (race) =="
+# Span tracing must be observation-only and worker-count-independent:
+# the traced sweep's report and Chrome trace file are byte-identical for
+# any -j, and the report without -trace matches the traced report's
+# leading experiment table (DESIGN.md §3e).
+TRACETMP="$(mktemp -d)"
+trap 'rm -rf "$TRACETMP"' EXIT
+go build -race -o "$TRACETMP/experiments" ./cmd/experiments
+"$TRACETMP/experiments" -quick -q -j 1 -trace "$TRACETMP/t1.json" fig5 faultsweep > "$TRACETMP/out1.txt"
+"$TRACETMP/experiments" -quick -q -j 8 -trace "$TRACETMP/t8.json" fig5 faultsweep > "$TRACETMP/out8.txt"
+cmp "$TRACETMP/t1.json" "$TRACETMP/t8.json"
+cmp "$TRACETMP/out1.txt" "$TRACETMP/out8.txt"
+
+echo "== zero-alloc gate: tracing-off allocation budget =="
+# The span-tracer hooks must be free when tracing is off: the delta tests
+# scale event/op counts ~100x and require zero extra allocations (run
+# without -race; race instrumentation allocates).
+go test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/cluster/
+
 echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./... =="
 # One iteration of every benchmark: catches benchmarks that panic or hang
 # without paying measurement time. Full measured runs live in bench.sh.
