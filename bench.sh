@@ -3,7 +3,7 @@
 #
 # Runs the kernel microbenchmarks plus the end-to-end figure benchmarks the
 # perf acceptance criteria track, and merges ns/op, B/op, and allocs/op
-# into BENCH_PR4.json under the given label (default: "current"). With a
+# into BENCH_PR5.json under the given label (default: "current"). With a
 # baseline label already present in the ledger, benchrec prints deltas.
 #
 # Usage:
@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")"
 
 LABEL="${1:-current}"
-LEDGER="BENCH_PR4.json"
+LEDGER="BENCH_PR5.json"
 
 go build -o /tmp/benchrec ./cmd/benchrec
 

@@ -11,12 +11,15 @@
 //	experiments -quick all
 //	experiments -quick -j 8 all
 //	experiments -json fig9
+//	experiments -metrics util.csv -metrics-prom util.prom fig5
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -25,33 +28,55 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command. Reports, JSON, and CSV go to stdout; progress,
+// memstats, artifact notes, and errors go to stderr — the two streams never
+// interleave, so `experiments ... > report.txt` always captures exactly the
+// report bytes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list     = flag.Bool("list", false, "list available experiment ids and exit")
-		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = paper default)")
-		frames   = flag.Int("frames", 0, "frames per pair (0 = paper default of 128)")
-		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
-		quick    = flag.Bool("quick", false, "reduced sweep for smoke runs")
-		workers  = flag.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
-		asJSON   = flag.Bool("json", false, "emit reports as JSON instead of text tables")
-		asCSV    = flag.Bool("csv", false, "emit report tables as CSV (for plotting)")
-		outPath  = flag.String("o", "", "write output to file instead of stdout")
-		quiet    = flag.Bool("q", false, "suppress per-experiment progress on stderr")
-		memstats = flag.Bool("memstats", false, "report per-experiment host allocation deltas on stderr")
-		traceOut = flag.String("trace", "", "record virtual-time span traces: write a Chrome trace-event JSON file here and emit per-experiment time-breakdown reports")
+		list       = fs.Bool("list", false, "list available experiment ids and exit")
+		reps       = fs.Int("reps", 0, "repetitions per configuration (0 = paper default)")
+		frames     = fs.Int("frames", 0, "frames per pair (0 = paper default of 128)")
+		seed       = fs.Uint64("seed", 0, "base RNG seed (0 = default)")
+		quick      = fs.Bool("quick", false, "reduced sweep for smoke runs")
+		workers    = fs.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
+		asJSON     = fs.Bool("json", false, "emit reports as JSON instead of text tables")
+		asCSV      = fs.Bool("csv", false, "emit report tables as CSV (for plotting)")
+		outPath    = fs.String("o", "", "write output to file instead of stdout")
+		quiet      = fs.Bool("q", false, "suppress per-experiment progress on stderr")
+		memstats   = fs.Bool("memstats", false, "report per-experiment host allocation deltas on stderr")
+		traceOut   = fs.String("trace", "", "record virtual-time span traces: write a Chrome trace-event JSON file here and emit per-experiment time-breakdown reports")
+		metricsOut = fs.String("metrics", "", "sample virtual-time resource metrics: write a time-series CSV file here and emit per-experiment utilization dashboards")
+		promOut    = fs.String("metrics-prom", "", "with metrics sampling, also write an end-of-run Prometheus text-format snapshot here")
+		metricsInt = fs.Duration("metrics-interval", 0, "virtual-time sampling period for -metrics/-metrics-prom (0 = 250ms)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
 
 	if *list {
 		for _, e := range repro.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: no experiment ids given (try -list, or 'all')")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "experiments: no experiment ids given (try -list, or 'all')")
+		return 2
 	}
 	for _, id := range ids {
 		if id == "all" {
@@ -63,11 +88,11 @@ func main() {
 		}
 	}
 
-	out := os.Stdout
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer f.Close()
 		out = f
@@ -79,6 +104,12 @@ func main() {
 		collector = repro.NewTraceCollector()
 		opts.Trace = collector
 	}
+	var mcollector *repro.MetricsCollector
+	if *metricsOut != "" || *promOut != "" {
+		mcollector = repro.NewMetricsCollector()
+		mcollector.Interval = *metricsInt
+		opts.Metrics = mcollector
+	}
 	effWorkers := *workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -87,31 +118,38 @@ func main() {
 	var reports []*repro.ExperimentReport
 	for i, id := range ids {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s (workers=%d) ...", i+1, len(ids), id, effWorkers)
+			fmt.Fprintf(stderr, "[%d/%d] %s (workers=%d) ...", i+1, len(ids), id, effWorkers)
 		}
 		expStart := time.Now()
 		var before runtime.MemStats
 		if *memstats {
 			runtime.ReadMemStats(&before)
 		}
+		// Run labels repeat across experiments (fig6/fig7 sweep overlapping
+		// ensembles); the scope keeps exported series distinguishable.
+		mcollector.SetScope(id)
 		rep, err := repro.RunExperiment(id, opts)
 		if err != nil {
 			if !*quiet {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
-			fatal(err)
+			return fatal(err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, " done in %.2fs\n", time.Since(expStart).Seconds())
+			fmt.Fprintf(stderr, " done in %.2fs\n", time.Since(expStart).Seconds())
 		}
 		if *memstats {
-			reportMemStats(id, &before)
+			reportMemStats(stderr, id, &before)
 		}
 		emit := []*repro.ExperimentReport{rep}
 		// With -trace, the experiment's span-derived time breakdown rides
-		// along as a second report; without it, output bytes are unchanged.
+		// along as a second report; with -metrics, the sampled utilization
+		// dashboard follows. Without either flag, output bytes are unchanged.
 		if breakdown := collector.Drain(id); breakdown != nil {
 			emit = append(emit, breakdown)
+		}
+		if dash := mcollector.Drain(id); dash != nil {
+			emit = append(emit, dash)
 		}
 		for _, rep := range emit {
 			switch {
@@ -120,7 +158,7 @@ func main() {
 			case *asCSV:
 				fmt.Fprintf(out, "# %s — %s\n", rep.ID, rep.Title)
 				if err := rep.WriteCSV(out); err != nil {
-					fatal(err)
+					return fatal(err)
 				}
 				fmt.Fprintln(out)
 			default:
@@ -133,28 +171,57 @@ func main() {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 	if collector != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := repro.WriteChromeTrace(f, collector.Runs); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := writeFile(*traceOut, func(f io.Writer) error {
+			return repro.WriteChromeTrace(f, collector.Runs)
+		}); err != nil {
+			return fatal(err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "wrote %d traced run(s) to %s\n", len(collector.Runs), *traceOut)
+			fmt.Fprintf(stderr, "wrote %d traced run(s) to %s\n", len(collector.Runs), *traceOut)
+		}
+	}
+	if mcollector != nil && *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f io.Writer) error {
+			return repro.WriteMetricsCSV(f, mcollector.Runs)
+		}); err != nil {
+			return fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "wrote %d sampled run(s) to %s\n", len(mcollector.Runs), *metricsOut)
+		}
+	}
+	if mcollector != nil && *promOut != "" {
+		if err := writeFile(*promOut, func(f io.Writer) error {
+			return repro.WriteMetricsProm(f, mcollector.Runs)
+		}); err != nil {
+			return fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "wrote metrics snapshot to %s\n", *promOut)
 		}
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) in %.2fs\n", len(ids), time.Since(start).Seconds())
+		fmt.Fprintf(stderr, "%d experiment(s) in %.2fs\n", len(ids), time.Since(start).Seconds())
 	}
+	return 0
+}
+
+// writeFile creates path, streams write into it, and surfaces the first
+// error (including Close, which matters for buffered filesystems).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // reportMemStats prints the host-side allocation delta one experiment
@@ -162,10 +229,10 @@ func main() {
 // deltas are how the allocation-budget claims in DESIGN.md §3c are checked
 // end to end (sweeps with RealFrames=false should show near-zero bytes per
 // simulated frame).
-func reportMemStats(id string, before *runtime.MemStats) {
+func reportMemStats(stderr io.Writer, id string, before *runtime.MemStats) {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(stderr,
 		"[memstats] %s: alloc=%.1fMB mallocs=%d gcs=%d heap_inuse=%.1fMB heap_sys=%.1fMB\n",
 		id,
 		float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
@@ -173,9 +240,4 @@ func reportMemStats(id string, before *runtime.MemStats) {
 		after.NumGC-before.NumGC,
 		float64(after.HeapInuse)/(1<<20),
 		float64(after.HeapSys)/(1<<20))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the command and returns (exit code, stdout, stderr). The
+// tests below pin the output-routing contract: report bytes (text tables,
+// CSV, JSON) go to stdout only; progress, memstats, artifact notes, usage,
+// and errors go to stderr only — so shell redirection of either stream
+// never mixes the two.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestStdoutCarriesOnlyReports(t *testing.T) {
+	code, out, errOut := capture(t, "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "== table1") {
+		t.Fatalf("stdout does not start with the report header: %q", out[:min(len(out), 60)])
+	}
+	for _, frag := range []string{"[1/1]", "done in", "experiment(s) in"} {
+		if strings.Contains(out, frag) {
+			t.Fatalf("progress fragment %q leaked onto stdout", frag)
+		}
+		if !strings.Contains(errOut, frag) {
+			t.Fatalf("progress fragment %q missing from stderr", frag)
+		}
+	}
+}
+
+func TestQuietSuppressesStderr(t *testing.T) {
+	code, out, errOut := capture(t, "-q", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if errOut != "" {
+		t.Fatalf("-q left stderr output: %q", errOut)
+	}
+	if !strings.Contains(out, "== table1") {
+		t.Fatal("report missing from stdout")
+	}
+}
+
+// TestArtifactFlagsKeepStreamsSeparate drives every output-shaping flag at
+// once (-o, -q off, -memstats, -trace, -metrics, -metrics-prom) on a real
+// experiment and checks stdout stays empty (routed to -o), the report file
+// holds the tables, and every progress/artifact note lands on stderr.
+func TestArtifactFlagsKeepStreamsSeparate(t *testing.T) {
+	dir := t.TempDir()
+	oPath := filepath.Join(dir, "report.txt")
+	tPath := filepath.Join(dir, "trace.json")
+	mPath := filepath.Join(dir, "metrics.csv")
+	pPath := filepath.Join(dir, "metrics.prom")
+	code, out, errOut := capture(t, "-quick", "-reps", "1", "-frames", "4",
+		"-o", oPath, "-memstats", "-trace", tPath, "-metrics", mPath, "-metrics-prom", pPath, "fig5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if out != "" {
+		t.Fatalf("stdout not empty with -o: %q", out)
+	}
+	report, err := os.ReadFile(oPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== fig5 ", "== fig5-trace ", "== fig5-metrics "} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report file missing %q", want)
+		}
+	}
+	for _, want := range []string{"[memstats] fig5:", "traced run(s)", "sampled run(s)", "wrote metrics snapshot"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	for _, path := range []string{tPath, mPath, pPath} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (err %v)", path, err)
+		}
+	}
+}
+
+func TestListGoesToStdout(t *testing.T) {
+	code, out, errOut := capture(t, "-list")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "fig5") || !strings.Contains(out, "faultsweep") {
+		t.Fatalf("listing incomplete: %q", out)
+	}
+}
+
+func TestErrorsGoToStderr(t *testing.T) {
+	code, out, errOut := capture(t, "no-such-experiment")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if out != "" {
+		t.Fatalf("error run wrote to stdout: %q", out)
+	}
+	if !strings.Contains(errOut, "experiments:") {
+		t.Fatalf("error missing from stderr: %q", errOut)
+	}
+
+	code, out, errOut = capture(t)
+	if code != 2 || out != "" || !strings.Contains(errOut, "no experiment ids") {
+		t.Fatalf("no-args: exit %d stdout %q stderr %q", code, out, errOut)
+	}
+
+	code, out, errOut = capture(t, "-definitely-not-a-flag")
+	if code != 2 || out != "" || !strings.Contains(errOut, "flag") {
+		t.Fatalf("bad flag: exit %d stdout %q stderr %q", code, out, errOut)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

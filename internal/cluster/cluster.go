@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -90,6 +91,12 @@ type SSD struct {
 	Reads        int64
 	Writes       int64
 	FailedOps    int64
+
+	// readLat/writeLat are sampled latency histograms, shared across the
+	// cluster's SSDs (nil when no metrics registry is attached — Observe on
+	// nil is free).
+	readLat  *metrics.Histogram
+	writeLat *metrics.Histogram
 }
 
 // Degrade multiplies all subsequent service times by factor (>= 1).
@@ -142,6 +149,7 @@ func (s *SSD) Read(p *sim.Proc, n int64) (time.Duration, error) {
 	s.BytesRead += n
 	service := s.scale(s.spec.ReadLatency + bwTime(n, s.spec.ReadBandwidth))
 	elapsed := s.dev.Use(p, service)
+	s.readLat.Observe(elapsed)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "ssd", Name: "read",
 		Start: p.Now() - elapsed, Dur: elapsed, Bytes: n, Attr: s.dev.Name()})
 	return elapsed, nil
@@ -160,6 +168,7 @@ func (s *SSD) Write(p *sim.Proc, n int64) (time.Duration, error) {
 	s.BytesWritten += n
 	service := s.scale(s.spec.WriteLatency + bwTime(n, s.spec.WriteBandwidth))
 	elapsed := s.dev.Use(p, service)
+	s.writeLat.Observe(elapsed)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "ssd", Name: "write",
 		Start: p.Now() - elapsed, Dur: elapsed, Bytes: n, Attr: s.dev.Name()})
 	return elapsed, nil
@@ -187,6 +196,9 @@ type Node struct {
 	// linkDownUntil stalls transfers touching this node until the given
 	// virtual time (fault injection; zero means the link is up).
 	linkDownUntil sim.Time
+	// stallTime accumulates this node's share of link-outage waits (the
+	// per-node split of Cluster.LinkStallTime).
+	stallTime time.Duration
 
 	cl *Cluster
 }
@@ -231,6 +243,7 @@ func (n *Node) awaitLink(p *sim.Proc) {
 	if wait := n.linkDownUntil - p.Now(); wait > 0 {
 		n.cl.LinkStalls++
 		n.cl.LinkStallTime += wait
+		n.stallTime += wait
 		p.Sleep(wait)
 		if rec := p.Rec(); rec != nil {
 			rec.Emit(trace.Span{Proc: p.Name(), Component: "net", Name: "link_stall",

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics registers the cluster's sampled hardware series:
+// cluster-wide SSD/NIC utilization, queue depths, read/write/wire bandwidth
+// and link-stall fraction on the dashboard, plus per-node breakdowns
+// (CSV-only) and shared SSD latency histograms. Nil-safe: a nil registry
+// registers nothing and the per-SSD histogram handles stay nil, so the I/O
+// paths keep their zero-cost-when-off budget.
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	nodes := c.nodes
+	channels := c.Spec.SSD.Channels
+
+	reg.Util("cluster/ssd/util", channels*len(nodes), func() float64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.SSD.dev.BusyUnitNanos()
+		}
+		return float64(sum)
+	}).OnDashboard()
+	reg.Gauge("cluster/ssd/queue", func() float64 {
+		var sum int
+		for _, n := range nodes {
+			sum += n.SSD.dev.QueueLen()
+		}
+		return float64(sum)
+	}).OnDashboard()
+	reg.Rate("cluster/ssd/read_bw", func() float64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.SSD.BytesRead
+		}
+		return float64(sum)
+	}).OnDashboard()
+	reg.Rate("cluster/ssd/write_bw", func() float64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.SSD.BytesWritten
+		}
+		return float64(sum)
+	}).OnDashboard()
+	reg.Util("cluster/nic/util", len(nodes), func() float64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.nic.BusyUnitNanos()
+		}
+		return float64(sum)
+	}).OnDashboard()
+	reg.Rate("cluster/net/wire_bw", func() float64 {
+		return float64(c.BytesOnWire)
+	}).OnDashboard()
+	// Whole-cluster fraction of wall time lost to link outages: the stall
+	// integral is normalized per node so a fully stalled fabric reads 1.
+	reg.Util("cluster/net/link_stall_frac", len(nodes), func() float64 {
+		var sum float64
+		for _, n := range nodes {
+			sum += float64(n.stallTime)
+		}
+		return sum
+	}).OnDashboard()
+
+	reg.Counter("cluster/ssd/failed_ops", func() float64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.SSD.FailedOps
+		}
+		return float64(sum)
+	})
+	reg.Rate("cluster/net/transfers", func() float64 { return float64(c.Transfers) })
+	reg.Counter("cluster/net/link_stalls", func() float64 { return float64(c.LinkStalls) })
+	reg.Gauge("cluster/nic/queue", func() float64 {
+		var sum int
+		for _, n := range nodes {
+			sum += n.nic.QueueLen()
+		}
+		return float64(sum)
+	})
+
+	for _, n := range nodes {
+		n := n
+		pfx := fmt.Sprintf("cluster/node%d", n.ID)
+		reg.Util(pfx+"/ssd/util", channels, func() float64 { return float64(n.SSD.dev.BusyUnitNanos()) })
+		reg.Gauge(pfx+"/ssd/queue", func() float64 { return float64(n.SSD.dev.QueueLen()) })
+		reg.Rate(pfx+"/ssd/read_bw", func() float64 { return float64(n.SSD.BytesRead) })
+		reg.Rate(pfx+"/ssd/write_bw", func() float64 { return float64(n.SSD.BytesWritten) })
+		reg.Util(pfx+"/nic/util", 1, func() float64 { return float64(n.nic.BusyUnitNanos()) })
+		reg.Gauge(pfx+"/nic/queue", func() float64 { return float64(n.nic.QueueLen()) })
+		reg.Util(pfx+"/link_stall_frac", 1, func() float64 { return float64(n.stallTime) })
+	}
+
+	// All SSDs share one pair of latency histograms: the dashboard wants
+	// the device-class distribution, the per-device split already exists in
+	// the bandwidth/utilization series.
+	readLat := reg.Histogram("cluster/ssd/read_lat")
+	writeLat := reg.Histogram("cluster/ssd/write_lat")
+	for _, n := range nodes {
+		n.SSD.readLat = readLat
+		n.SSD.writeLat = writeLat
+	}
+}

@@ -147,6 +147,14 @@ type Config struct {
 	// byte-identical to the same run untraced. Off (the default) costs one
 	// nil check per operation and zero allocations.
 	RecordSpans bool
+	// MetricsInterval, when > 0, attaches a virtual-time metrics registry
+	// sampling every resource series at this fixed interval, surfaced on
+	// Result.Metrics. Sampling is observation-only — probes read state
+	// without scheduling events or drawing randomness, so a sampled run's
+	// measurements are byte-identical to the same run unsampled and
+	// independent of the worker count. Zero (the default) costs one nil
+	// check per event and per instrumented operation.
+	MetricsInterval time.Duration
 }
 
 // EffectiveStride returns the configured stride, or the model's default.
@@ -214,6 +222,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxVirtualTime < 0 {
 		return fmt.Errorf("core: MaxVirtualTime %v < 0", c.MaxVirtualTime)
+	}
+	if c.MetricsInterval < 0 {
+		return fmt.Errorf("core: MetricsInterval %v < 0", c.MetricsInterval)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package core
+
+// registerMetrics wires the run's metrics registry: workflow-level series
+// first (frame rates, per-role idle fraction — the paper's pathology
+// signal), then the cluster hardware, then the active backend. Registration
+// order fixes the CSV column order and dashboard row order, so it must stay
+// deterministic — no map iteration, backends in the switch order of newRig.
+func (r *rig) registerMetrics() {
+	reg := r.reg
+
+	reg.Rate("core/frames_produced", func() float64 { return float64(r.framesProduced) }).OnDashboard()
+	reg.Rate("core/frames_consumed", func() float64 { return float64(r.framesRead) }).OnDashboard()
+	// Idle fractions normalize the per-role wait integrals over the whole
+	// ensemble: 1 means every producer (consumer) spent the full interval
+	// blocked on synchronization. DYAD consumers idle in the metadata fetch
+	// (System.FetchIdleNanos); gated backends idle in explicit_sync.
+	pairs := r.cfg.Pairs
+	reg.Util("core/producer_idle_frac", pairs, func() float64 {
+		return float64(r.prodIdleNanos)
+	}).OnDashboard()
+	dy := r.dy
+	reg.Util("core/consumer_idle_frac", pairs, func() float64 {
+		idle := r.consIdleNanos
+		if dy != nil {
+			idle += dy.FetchIdleNanos
+		}
+		return float64(idle)
+	}).OnDashboard()
+
+	r.cl.RegisterMetrics(reg)
+
+	switch {
+	case r.dy != nil:
+		r.dy.RegisterMetrics(reg)
+	case r.xf != nil:
+		r.xf.RegisterMetrics(reg, "xfs")
+	}
+	// Lustre serves as primary backend or as DYAD's fallback mirror; either
+	// way its servers are sampled. (DYAD staging filesystems are created
+	// lazily inside running processes and are not registered; their device
+	// traffic is visible through the cluster SSD series.)
+	if r.lfs != nil {
+		r.lfs.RegisterMetrics(reg)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/caliper"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -64,6 +65,10 @@ type Result struct {
 	// SpanStats are per-operation counters and latency histograms derived
 	// from Spans. Nil when tracing is off.
 	SpanStats []trace.OpStat
+
+	// Metrics holds the run's sampled resource registry when
+	// Config.MetricsInterval is set (nil otherwise).
+	Metrics *metrics.Registry
 }
 
 // collect derives the Result from the rig's profiles and counters.
@@ -118,6 +123,9 @@ func (r *rig) collect() (*Result, error) {
 	if r.rec != nil {
 		res.Spans = r.rec.Spans()
 		res.SpanStats = trace.Aggregate(res.Spans)
+	}
+	if r.reg != nil {
+		res.Metrics = r.reg
 	}
 	return res, nil
 }

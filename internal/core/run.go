@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/frame"
 	"repro/internal/lustre"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -58,6 +59,14 @@ type rig struct {
 	// rec records virtual-time spans when Config.RecordSpans is set; nil
 	// otherwise (tracing disabled at zero cost).
 	rec *trace.Recorder
+
+	// reg samples resource metrics when Config.MetricsInterval is set; nil
+	// otherwise (sampling disabled at zero cost). framesProduced and the
+	// idle integrals feed its workflow-level series.
+	reg            *metrics.Registry
+	framesProduced int64
+	prodIdleNanos  int64
+	consIdleNanos  int64
 
 	// recovery counts injected fault events (backends record their own
 	// recovery activity; collect merges everything into Result.Recovery).
@@ -144,6 +153,13 @@ func newRig(cfg Config) *rig {
 		r.xf = xfs.New(cl.Node(0), xfs.DefaultParams())
 	case Lustre:
 		buildLustre()
+	}
+
+	if cfg.MetricsInterval > 0 {
+		r.reg = metrics.New(cfg.MetricsInterval)
+		r.registerMetrics()
+		reg := r.reg
+		eng.SetSampler(cfg.MetricsInterval, func(t sim.Time) { reg.Sample(t) })
 	}
 
 	if cfg.StragglerFactor > 1 {
@@ -305,7 +321,9 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			gate.post.Post(p)
 			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
 			ann.End("explicit_sync")
+			r.prodIdleNanos += int64(p.Now() - start)
 		}
+		r.framesProduced++
 		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "workflow", Name: "frame_produced",
 			Start: p.Now(), Bytes: data.Size(), Attr: path})
 		p.Tracef("produced frame %d (%d bytes)", f, data.Size())
@@ -338,6 +356,7 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			gate.post.WaitSeq(p, f+1)
 			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
 			ann.End("explicit_sync")
+			r.consIdleNanos += int64(p.Now() - start)
 		}
 		var data vfs.Payload
 		switch r.cfg.Backend {

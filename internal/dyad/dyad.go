@@ -31,6 +31,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kvs"
 	"repro/internal/locks"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -121,6 +122,24 @@ type System struct {
 	// Produced counts frames published; Fetched counts remote transfers.
 	Produced int64
 	Fetched  int64
+
+	// Sampled-metrics counters (cheap unconditional increments; observed
+	// only when a registry samples them). CacheHits/CacheMisses split
+	// consumer-side RAM-cache lookups; StagingReads counts reads served
+	// from a producer's NVMe staging area (local consumes, remote broker
+	// reads, and degraded direct reads); InflightFetches is the number of
+	// remote fetches currently in flight; FetchIdleNanos integrates
+	// consumer time blocked in metadata synchronization (dyad_fetch).
+	CacheHits       int64
+	CacheMisses     int64
+	StagingReads    int64
+	InflightFetches int64
+	FetchIdleNanos  int64
+
+	// produceLat/fetchLat are sampled latency histograms (nil when no
+	// metrics registry is attached — Observe on nil is free).
+	produceLat *metrics.Histogram
+	fetchLat   *metrics.Histogram
 
 	// Recovery accumulates the run's fault-recovery activity (timeouts,
 	// retries, degraded reads); all zero on healthy runs.
@@ -301,6 +320,7 @@ func (c *Client) Node() *cluster.Node { return c.broker.node }
 // not committed, so consumers never see metadata for data that was lost.
 func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vfs.Payload) error {
 	path = vfs.Clean(path)
+	pStart := p.Now()
 	defer ann.Region("dyad_produce")()
 	// The whole produce call is data movement in the paper's decomposition
 	// (the producer never waits on consumers), so one Movement span covers
@@ -337,6 +357,7 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vf
 	c.sys.kvs.Commit(p, c.broker.node, path, encodeMeta(meta{owner: c.broker.node.ID, size: pl.Size()}))
 	c.sys.Produced++
 	ann.End("dyad_commit")
+	c.sys.produceLat.Observe(p.Now() - pStart)
 	return nil
 }
 
@@ -394,6 +415,8 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		m = decodeMeta(raw)
 	}
 	ann.End("dyad_fetch")
+	c.sys.FetchIdleNanos += int64(p.Now() - fetchStart)
+	c.sys.fetchLat.Observe(p.Now() - fetchStart)
 	// Paper decomposition (SplitConsumer): the metadata fetch is idle time,
 	// everything after it — client overhead, remote pull, cache store, local
 	// read — is data movement. Two disjoint workflow spans mirror that.
@@ -459,11 +482,17 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		var ok bool
 		if local {
 			got, ok = c.broker.staging.Tree().Get(path)
+			if ok {
+				c.sys.StagingReads++
+			}
 		} else {
 			got, ok = c.broker.cache.Get(path)
-			if !ok {
+			if ok {
+				c.sys.CacheHits++
+			} else {
 				// The local broker crashed between store and read and lost
 				// its RAM cache; serve the in-flight copy.
+				c.sys.CacheMisses++
 				got, ok = data, true
 			}
 		}
@@ -500,6 +529,8 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 // under the backoff policy; exhausted retries degrade to fetchDegraded.
 func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Payload, error) {
 	params := &c.sys.params
+	c.sys.InflightFetches++
+	defer func() { c.sys.InflightFetches-- }()
 	for attempt := 0; ; attempt++ {
 		// Request message to the owner broker.
 		c.sys.cl.Transfer(p, c.broker.node, owner.node, 192)
@@ -534,6 +565,7 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 			rerr = vfs.PathError("dyad fetch", path, vfs.ErrNotExist)
 			return
 		}
+		c.sys.StagingReads++
 		rerr = owner.cachedRead(p, got.Size())
 		data = got
 	})
@@ -566,6 +598,7 @@ func (c *Client) fetchDegraded(p *sim.Proc, owner *Broker, path string, cause er
 		start := p.Now()
 		if _, err := owner.node.SSD.Read(p, got.Size()); err == nil {
 			c.sys.cl.Transfer(p, owner.node, c.broker.node, got.Size())
+			c.sys.StagingReads++
 			c.sys.Recovery.DegradedReads++
 			c.sys.Recovery.DegradedBytes += got.Size()
 			p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "dyad", Name: "degraded_read",

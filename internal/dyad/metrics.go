@@ -1,0 +1,35 @@
+package dyad
+
+import "repro/internal/metrics"
+
+// RegisterMetrics registers the deployment's sampled series: cache hit
+// rate, staging-read rate, outstanding remote fetches, and the
+// fault-recovery counters mirroring faults.Metrics on the dashboard, plus
+// produce/fetch rates, the KVS service series, and produce/fetch latency
+// histograms. System-level aggregates only — brokers are created lazily
+// inside running processes, after registration time. Nil-safe on a nil
+// registry (histogram handles stay nil, so the client paths keep their
+// zero-cost-when-off budget).
+func (s *System) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Ratio("dyad/cache_hit_rate",
+		func() float64 { return float64(s.CacheHits) },
+		func() float64 { return float64(s.CacheHits + s.CacheMisses) },
+	).OnDashboard()
+	reg.Rate("dyad/staging_reads", func() float64 { return float64(s.StagingReads) }).OnDashboard()
+	reg.Gauge("dyad/outstanding_fetches", func() float64 { return float64(s.InflightFetches) }).OnDashboard()
+	reg.Counter("dyad/timeouts", func() float64 { return float64(s.Recovery.Timeouts) }).OnDashboard()
+
+	reg.Rate("dyad/produce_rate", func() float64 { return float64(s.Produced) })
+	reg.Rate("dyad/fetch_rate", func() float64 { return float64(s.Fetched) })
+	reg.Counter("dyad/retries", func() float64 { return float64(s.Recovery.Retries) })
+	reg.Counter("dyad/degraded_reads", func() float64 { return float64(s.Recovery.DegradedReads) })
+	reg.Counter("dyad/broker_restarts", func() float64 { return float64(s.Recovery.BrokerRestarts) })
+
+	s.kvs.RegisterMetrics(reg, "dyad/kvs")
+
+	s.produceLat = reg.Histogram("dyad/produce_lat")
+	s.fetchLat = reg.Histogram("dyad/fetch_lat")
+}

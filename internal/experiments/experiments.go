@@ -38,6 +38,11 @@ type Options struct {
 	// per-experiment breakdown reports. Recording is observation-only:
 	// every measured number is byte-identical with or without it.
 	Trace *Collector
+	// Metrics, when non-nil, enables virtual-time metrics sampling on one
+	// repetition of each configuration and collects the registries for CSV
+	// and Prometheus export plus per-experiment utilization dashboards.
+	// Sampling is observation-only, like tracing.
+	Metrics *MetricsCollector
 }
 
 // Defaults fills unset options with paper-faithful values.
@@ -198,12 +203,21 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 		// schedule keeps every rep's seed identical to the untraced run.
 		cfgs[0].RecordSpans = true
 	}
+	if o.Metrics != nil {
+		// Sample the first repetition only, mirroring the trace policy; a
+		// rep that is both traced and sampled gets its counter tracks merged
+		// into the Chrome trace.
+		cfgs[0].MetricsInterval = o.Metrics.SampleInterval()
+	}
 	results, err := core.RunMany(cfgs, o.Workers)
 	if err != nil {
 		return core.Aggregate{}, err
 	}
 	if o.Trace != nil {
 		o.Trace.Add(cfg.Label(), results)
+	}
+	if o.Metrics != nil {
+		o.Metrics.Add(cfg.Label(), results)
 	}
 	return core.Aggregated(results), nil
 }

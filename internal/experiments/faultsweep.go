@@ -74,12 +74,18 @@ func FaultSweep(o Options) (*Report, error) {
 					cfg.LustreFallback = true
 				}
 				label := ""
-				if o.Trace != nil && rep == 0 {
-					// One traced rep per (backend, rate) cell: the fault plan
-					// is seed-deterministic, so the traced rep's recovery
-					// spans line up with the cell's rep-0 metrics exactly.
-					cfg.RecordSpans = true
+				if rep == 0 && (o.Trace != nil || o.Metrics != nil) {
+					// One traced/metered rep per (backend, rate) cell: the
+					// fault plan is seed-deterministic, so the traced rep's
+					// recovery spans line up with the cell's rep-0 metrics
+					// exactly.
 					label = fmt.Sprintf("faults %s %gx", s.backend, rate)
+					if o.Trace != nil {
+						cfg.RecordSpans = true
+					}
+					if o.Metrics != nil {
+						cfg.MetricsInterval = o.Metrics.SampleInterval()
+					}
 				}
 				keys = append(keys, key{si, ri})
 				cfgs = append(cfgs, cfg)
@@ -91,11 +97,15 @@ func FaultSweep(o Options) (*Report, error) {
 	if err := tolerateFaultKills(err); err != nil {
 		return nil, err
 	}
-	if o.Trace != nil {
-		for i, label := range traceLabels {
-			if label != "" {
-				o.Trace.Add(label, results[i:i+1])
-			}
+	for i, label := range traceLabels {
+		if label == "" {
+			continue
+		}
+		if o.Trace != nil {
+			o.Trace.Add(label, results[i:i+1])
+		}
+		if o.Metrics != nil {
+			o.Metrics.Add(label, results[i:i+1])
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/caliper"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/thicket"
 	"repro/internal/trace"
@@ -48,7 +49,12 @@ func (c *Collector) Add(label string, results []*core.Result) {
 		if res == nil || len(res.Spans) == 0 {
 			continue
 		}
-		c.Runs = append(c.Runs, trace.Run{Label: label, Spans: res.Spans})
+		run := trace.Run{Label: label, Spans: res.Spans}
+		// A repetition that was also metrics-sampled carries its registry;
+		// its dashboard series become Perfetto counter tracks under the
+		// run's span rows.
+		run.Counters = metrics.CounterTracks(res.Metrics)
+		c.Runs = append(c.Runs, run)
 		profiles := trace.Profiles(res.Spans)
 		var prod, cons []*caliper.Profile
 		for _, p := range profiles {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -51,6 +52,28 @@ type Store struct {
 	Commits int64
 	Lookups int64
 	Waits   int64
+
+	// commitLat is a sampled latency histogram (nil when no metrics
+	// registry is attached — Observe on nil is free).
+	commitLat *metrics.Histogram
+}
+
+// RegisterMetrics registers the store's sampled series under prefix
+// (for example "dyad/kvs"): in-flight requests and server utilization on
+// the dashboard, commit/lookup rates, watch-wait counts, and a commit
+// latency histogram. Nil-safe on a nil registry.
+func (s *Store) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"/inflight", func() float64 {
+		return float64(s.server.InUse() + s.server.QueueLen())
+	}).OnDashboard()
+	reg.Util(prefix+"/util", 1, func() float64 { return float64(s.server.BusyUnitNanos()) })
+	reg.Rate(prefix+"/commit_rate", func() float64 { return float64(s.Commits) })
+	reg.Rate(prefix+"/lookup_rate", func() float64 { return float64(s.Lookups) })
+	reg.Counter(prefix+"/watch_waits", func() float64 { return float64(s.Waits) })
+	s.commitLat = reg.Histogram(prefix + "/commit_lat")
 }
 
 // New creates a store hosted on the given node.
@@ -77,6 +100,7 @@ func (s *Store) Commit(p *sim.Proc, from *cluster.Node, key string, value []byte
 	s.Commits++
 	start := p.Now()
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes+int64(len(value)), 64, s.server, s.params.CommitService)
+	s.commitLat.Observe(p.Now() - start)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "commit",
 		Start: start, Dur: p.Now() - start, Bytes: int64(len(value)), Attr: key})
 	s.data[key] = value

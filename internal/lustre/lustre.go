@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -82,6 +83,10 @@ type ost struct {
 	node *cluster.Node
 	srv  *sim.Resource
 
+	// bytes accumulates payload moved through this OST (request + response),
+	// for the sampled per-OST bandwidth and imbalance series.
+	bytes int64
+
 	// downUntil marks the serving OSS down until the given virtual time
 	// (fault injection); failedOver means clients have switched to the
 	// standby OSS, which serves at normal cost for the rest of the run.
@@ -108,6 +113,11 @@ type FS struct {
 
 	MDSOps int64
 	OSTOps int64
+
+	// mdsLat/ostLat are sampled RPC latency histograms (nil when no metrics
+	// registry is attached — Observe on nil is free).
+	mdsLat *metrics.Histogram
+	ostLat *metrics.Histogram
 
 	// Recovery accumulates the run's fault-recovery activity (timeouts,
 	// resends, failovers); all zero on healthy runs.
@@ -260,6 +270,7 @@ func (f *FS) mdsRPC(p *sim.Proc, from *cluster.Node) {
 	f.MDSOps++
 	start := p.Now()
 	f.cl.RPC(p, from, f.mdsNode, 256, 128, f.mds, f.params.MDSService)
+	f.mdsLat.Observe(p.Now() - start)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "mds_rpc",
 		Start: start, Dur: p.Now() - start})
 }
@@ -268,8 +279,10 @@ func (f *FS) mdsRPC(p *sim.Proc, from *cluster.Node) {
 func (f *FS) ostRPC(p *sim.Proc, from *cluster.Node, o *ost, reqBytes, respBytes int64, service time.Duration) {
 	f.await(p, &o.downUntil, &o.failedOver)
 	f.OSTOps++
+	o.bytes += reqBytes + respBytes
 	start := p.Now()
 	f.cl.RPC(p, from, o.node, reqBytes, respBytes, o.srv, service)
+	f.ostLat.Observe(p.Now() - start)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "lustre", Name: "ost_rpc",
 		Start: start, Dur: p.Now() - start, Bytes: reqBytes + respBytes, Attr: o.srv.Name()})
 }

@@ -1,0 +1,60 @@
+package lustre
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics registers the filesystem's sampled series: in-flight MDS
+// RPCs, aggregate OST bandwidth, and the OST load-imbalance factor on the
+// dashboard, plus MDS utilization, per-OST breakdowns (CSV-only), recovery
+// counters, and RPC latency histograms. Nil-safe on a nil registry.
+func (f *FS) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("lustre/mds/inflight", func() float64 {
+		return float64(f.mds.InUse() + f.mds.QueueLen())
+	}).OnDashboard()
+	reg.Rate("lustre/ost/bw", func() float64 {
+		var sum int64
+		for _, o := range f.osts {
+			sum += o.bytes
+		}
+		return float64(sum)
+	}).OnDashboard()
+	// Imbalance factor: busiest OST's cumulative busy time over the mean
+	// (1 = perfectly balanced, len(osts) = one OST does all the work).
+	reg.Gauge("lustre/ost/imbalance", func() float64 {
+		var sum, max int64
+		for _, o := range f.osts {
+			b := o.srv.BusyUnitNanos()
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		if sum == 0 {
+			return 0
+		}
+		return float64(max) * float64(len(f.osts)) / float64(sum)
+	}).OnDashboard()
+
+	reg.Util("lustre/mds/util", 1, func() float64 { return float64(f.mds.BusyUnitNanos()) })
+	reg.Rate("lustre/mds/op_rate", func() float64 { return float64(f.MDSOps) })
+	reg.Rate("lustre/ost/op_rate", func() float64 { return float64(f.OSTOps) })
+	reg.Counter("lustre/timeouts", func() float64 { return float64(f.Recovery.Timeouts) })
+	reg.Counter("lustre/retries", func() float64 { return float64(f.Recovery.Retries) })
+	reg.Counter("lustre/failovers", func() float64 { return float64(f.Recovery.Failovers) })
+
+	for i, o := range f.osts {
+		o := o
+		pfx := fmt.Sprintf("lustre/ost%d", i)
+		reg.Util(pfx+"/util", 1, func() float64 { return float64(o.srv.BusyUnitNanos()) })
+		reg.Rate(pfx+"/bw", func() float64 { return float64(o.bytes) })
+	}
+
+	f.mdsLat = reg.Histogram("lustre/mds_rpc_lat")
+	f.ostLat = reg.Histogram("lustre/ost_rpc_lat")
+}

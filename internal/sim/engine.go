@@ -88,6 +88,11 @@ type Engine struct {
 	maxEvents int64
 	maxTime   Time
 	fired     int64 // events fired so far
+
+	// Sampler hook (nil = off); see SetSampler.
+	sampleEvery Time
+	sampleNext  Time
+	sampleFn    func(t Time)
 }
 
 // NewEngine returns an engine with its virtual clock at zero. The seed
@@ -154,6 +159,23 @@ func (e *Engine) SetWatchdog(maxEvents int64, maxTime Time) {
 
 // Events returns the number of events fired so far.
 func (e *Engine) Events() int64 { return e.fired }
+
+// SetSampler installs a fixed-interval virtual-time sampler: before each
+// event fires, fn runs once for every elapsed boundary t = every, 2*every,
+// ... up to and including the event's time, with Now() set to the boundary.
+// The hook is not an event — it keeps nothing alive in the queue, does not
+// count toward the watchdog's event budget, and stops with the last real
+// event, so installing a sampler cannot change the event timeline. fn must
+// only observe state (no scheduling, no RNG draws). A nil fn (the default)
+// disables sampling; the run loop then pays one nil check per event.
+func (e *Engine) SetSampler(every Time, fn func(t Time)) {
+	if fn != nil && every <= 0 {
+		panic("sim: nonpositive sample interval")
+	}
+	e.sampleEvery = every
+	e.sampleNext = every
+	e.sampleFn = fn
+}
 
 // push inserts ev into the heap.
 func (e *Engine) push(ev event) {
@@ -255,6 +277,17 @@ func (e *Engine) After(d Time, fn func()) {
 func (e *Engine) Run() error {
 	for len(e.pq) > 0 {
 		ev := e.pop()
+		if e.sampleFn != nil {
+			// Fire every sample boundary the timeline is about to cross,
+			// with the clock parked on the boundary so time-integrated
+			// probes (Resource.BusyUnitNanos) integrate exactly to it.
+			// Boundaries at the event's own instant sample before it fires.
+			for e.sampleNext <= ev.at {
+				e.now = e.sampleNext
+				e.sampleFn(e.sampleNext)
+				e.sampleNext += e.sampleEvery
+			}
+		}
 		e.now = ev.at
 		e.fired++
 		if (e.maxEvents > 0 && e.fired > e.maxEvents) || (e.maxTime > 0 && e.now > e.maxTime) {

@@ -66,6 +66,15 @@ func (r *Resource) account() {
 	r.lastChange = now
 }
 
+// BusyUnitNanos returns the cumulative busy integral up to the current
+// virtual instant, in unit-nanoseconds: a grant of n units for d nanoseconds
+// adds n*d. Metrics samplers difference it across a sample interval to get
+// the windowed busy fraction (see internal/metrics).
+func (r *Resource) BusyUnitNanos() int64 {
+	r.account()
+	return r.busyUnitNanos
+}
+
 // Utilization returns mean busy fraction (0..1) since creation.
 func (r *Resource) Utilization() float64 {
 	r.account()

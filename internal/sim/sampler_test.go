@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSamplerBoundaries checks the sampler contract: one callback per
+// elapsed interval boundary, in order, up to and including the last event's
+// time, with the engine clock parked on the boundary during the callback.
+func TestSamplerBoundaries(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.SetSampler(100*time.Millisecond, func(ts Time) {
+		if e.Now() != ts {
+			t.Errorf("clock %v not parked on boundary %v", e.Now(), ts)
+		}
+		at = append(at, ts)
+	})
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(250 * time.Millisecond)
+		p.Sleep(150 * time.Millisecond) // ends exactly on the 400ms boundary
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 400 * time.Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("sampled %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", at, want)
+		}
+	}
+	if e.Now() != 400*time.Millisecond {
+		t.Fatalf("final time %v, want 400ms", e.Now())
+	}
+}
+
+// TestSamplerDoesNotExtendRun pins that the sampler is a hook, not an
+// event source: it cannot keep the queue alive past the last real event,
+// and boundaries beyond it never fire.
+func TestSamplerDoesNotExtendRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.SetSampler(time.Second, func(Time) { n++ })
+	e.Spawn("p", func(p *Proc) { p.Sleep(2500 * time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("sampled %d boundaries, want 2 (2.5s of events, 1s interval)", n)
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Fatalf("final time %v, want 2.5s", e.Now())
+	}
+}
+
+// TestSamplerObservationOnly runs the same workload with and without a
+// sampler and checks the event timeline is untouched: same final time,
+// same fired-event count, same per-process random draws.
+func TestSamplerObservationOnly(t *testing.T) {
+	workload := func(e *Engine) (finals []Time) {
+		res := NewResource(e, "dev", 2)
+		for i := 0; i < 4; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < 8; j++ {
+					res.Use(p, Time(p.Rand().Intn(int(3*time.Millisecond))))
+					p.Sleep(Time(p.Rand().Intn(int(2 * time.Millisecond))))
+				}
+				finals = append(finals, p.Now())
+			})
+		}
+		return
+	}
+
+	plain := NewEngine(7)
+	pf := workload(plain)
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	sampled := NewEngine(7)
+	samples := 0
+	sampled.SetSampler(time.Millisecond, func(Time) {
+		samples++ // observation only: read state, schedule nothing
+	})
+	sf := workload(sampled)
+	if err := sampled.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if samples == 0 {
+		t.Fatal("sampler never fired")
+	}
+	if plain.Now() != sampled.Now() {
+		t.Fatalf("final time changed: %v vs %v", plain.Now(), sampled.Now())
+	}
+	if plain.Events() != sampled.Events() {
+		t.Fatalf("fired-event count changed: %d vs %d", plain.Events(), sampled.Events())
+	}
+	if len(pf) != len(sf) {
+		t.Fatalf("finish counts differ: %d vs %d", len(pf), len(sf))
+	}
+	for i := range pf {
+		if pf[i] != sf[i] {
+			t.Fatalf("proc %d finish time changed: %v vs %v", i, pf[i], sf[i])
+		}
+	}
+}
+
+// TestSamplerBusyIntegralExact verifies the clock-parking property end to
+// end: a resource busy from t=0 to t=150ms must show exactly 100ms of busy
+// integral at the 100ms boundary — not 150ms — because account() runs with
+// Now() on the boundary.
+func TestSamplerBusyIntegralExact(t *testing.T) {
+	e := NewEngine(1)
+	res := NewResource(e, "dev", 1)
+	var got []int64
+	e.SetSampler(100*time.Millisecond, func(Time) {
+		got = append(got, res.BusyUnitNanos())
+	})
+	e.Spawn("p", func(p *Proc) { res.Use(p, 150*time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != int64(100*time.Millisecond) {
+		t.Fatalf("busy integral at 100ms boundary = %v, want [100ms in nanos]", got)
+	}
+}
+
+func TestSetSamplerRejectsNonpositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSampler(0, fn) did not panic")
+		}
+	}()
+	NewEngine(1).SetSampler(0, func(Time) {})
+}

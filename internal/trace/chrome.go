@@ -8,11 +8,22 @@ import (
 	"time"
 )
 
-// Run is one traced workflow run: a label (config + repetition) and its
-// span stream. WriteChrome renders each run as one Chrome trace process.
+// Run is one traced workflow run: a label (config + repetition), its span
+// stream, and optional sampled counter tracks (utilization curves from
+// internal/metrics). WriteChrome renders each run as one Chrome trace
+// process.
 type Run struct {
-	Label string
-	Spans []Span
+	Label    string
+	Spans    []Span
+	Counters []Counter
+}
+
+// Counter is one sampled counter track: a value per virtual sample time.
+// Perfetto renders counter tracks as line charts under the span rows.
+type Counter struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
 }
 
 // WriteChrome serializes traced runs in the Chrome trace-event JSON format
@@ -68,6 +79,12 @@ func WriteChrome(w io.Writer, runs []Run) error {
 			}
 			emit(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s%s}",
 				pid, tid, us(s.Start), us(s.Dur), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+		}
+		for _, c := range run.Counters {
+			for i, t := range c.Times {
+				emit(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%s}}",
+					pid, us(t), quote(c.Name), strconv.FormatFloat(c.Values[i], 'g', -1, 64)))
+			}
 		}
 	}
 	bw.WriteString("\n]}\n")

@@ -145,8 +145,10 @@ type OpStat struct {
 // HistBuckets is the number of duration histogram buckets in OpStat.
 const HistBuckets = 9
 
-// histBucket maps a duration to its OpStat histogram bucket.
-func histBucket(d time.Duration) int {
+// HistBucket maps a duration to its log-scale histogram bucket. The
+// bucketing is shared with metrics.Histogram so one percentile estimator
+// serves both.
+func HistBucket(d time.Duration) int {
 	us := d.Microseconds()
 	b := 0
 	for us > 0 && b < HistBuckets-1 {
@@ -155,6 +157,79 @@ func histBucket(d time.Duration) int {
 	}
 	return b
 }
+
+// histBucketLo returns bucket b's inclusive lower duration bound.
+func histBucketLo(b int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(int64(1)<<(2*uint(b-1))) * time.Microsecond // 4^(b-1)µs
+}
+
+// histBucketHi returns bucket b's exclusive upper duration bound, or max
+// for the unbounded last bucket.
+func histBucketHi(b int, max time.Duration) time.Duration {
+	if b >= HistBuckets-1 {
+		return max
+	}
+	return time.Duration(int64(1)<<(2*uint(b))) * time.Microsecond // 4^b µs
+}
+
+// HistogramPercentile estimates the p-th percentile (0-100) of a log-scale
+// duration histogram with the given observation count and observed min/max.
+// It walks the buckets to the one containing the fractional target rank and
+// interpolates linearly inside it, with the bucket's bounds tightened to
+// [min, max]. Accuracy is bounded by bucket width (a factor of 4), exact
+// when all observations share one bucket clamped by min==max. Deterministic:
+// pure integer/float arithmetic over the counts.
+func HistogramPercentile(hist *[HistBuckets]int64, count int64, min, max time.Duration, p float64) time.Duration {
+	if count <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return min
+	}
+	if p >= 100 {
+		return max
+	}
+	target := p / 100 * float64(count)
+	var cum int64
+	for b := 0; b < HistBuckets; b++ {
+		n := hist[b]
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < target {
+			cum += n
+			continue
+		}
+		lo, hi := histBucketLo(b), histBucketHi(b, max)
+		if lo < min {
+			lo = min
+		}
+		if hi > max {
+			hi = max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (target - float64(cum)) / float64(n)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return max
+}
+
+// Percentile estimates the p-th percentile (0-100) of the operation's span
+// durations from its log-scale histogram.
+func (st *OpStat) Percentile(p float64) time.Duration {
+	return HistogramPercentile(&st.Hist, st.Count, st.Min, st.Max, p)
+}
+
+// P50 estimates the operation's median duration.
+func (st *OpStat) P50() time.Duration { return st.Percentile(50) }
+
+// P99 estimates the operation's 99th-percentile duration.
+func (st *OpStat) P99() time.Duration { return st.Percentile(99) }
 
 // Aggregate folds a span stream into per-operation statistics, sorted by
 // (component, name). The result is deterministic for a deterministic span
@@ -183,7 +258,7 @@ func Aggregate(spans []Span) []OpStat {
 		if s.Dur > st.Max {
 			st.Max = s.Dur
 		}
-		st.Hist[histBucket(s.Dur)]++
+		st.Hist[HistBucket(s.Dur)]++
 	}
 	sort.SliceStable(stats, func(i, j int) bool {
 		if stats[i].Component != stats[j].Component {

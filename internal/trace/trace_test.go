@@ -90,8 +90,8 @@ func TestHistBuckets(t *testing.T) {
 		{10 * time.Second, HistBuckets - 1}, // clamped to last bucket
 	}
 	for _, c := range cases {
-		if got := histBucket(c.d); got != c.want {
-			t.Fatalf("histBucket(%v) = %d, want %d", c.d, got, c.want)
+		if got := HistBucket(c.d); got != c.want {
+			t.Fatalf("HistBucket(%v) = %d, want %d", c.d, got, c.want)
 		}
 	}
 }

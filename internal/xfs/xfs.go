@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vfs"
@@ -39,6 +40,30 @@ type FS struct {
 	node   *cluster.Node
 	params Params
 	tree   *vfs.Tree
+
+	// Sampled-metrics state (cheap unconditional updates): journalPending
+	// is the number of journal commits currently waiting on the device —
+	// the journal backlog; journalBytes/journalOps accumulate log traffic.
+	journalPending int64
+	journalBytes   int64
+	journalOps     int64
+	// journalLat is a sampled commit latency histogram (nil when no
+	// metrics registry is attached — Observe on nil is free).
+	journalLat *metrics.Histogram
+}
+
+// RegisterMetrics registers the filesystem's sampled series under prefix
+// (for example "xfs"): the journal backlog on the dashboard, plus journal
+// bandwidth, commit rate, and a file-write commit latency histogram.
+// Nil-safe on a nil registry.
+func (f *FS) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix+"/journal_backlog", func() float64 { return float64(f.journalPending) }).OnDashboard()
+	reg.Rate(prefix+"/journal_bw", func() float64 { return float64(f.journalBytes) })
+	reg.Rate(prefix+"/journal_commits", func() float64 { return float64(f.journalOps) })
+	f.journalLat = reg.Histogram(prefix + "/journal_lat")
 }
 
 // New mounts an XFS instance on the given node's SSD.
@@ -60,9 +85,15 @@ func (f *FS) Tree() *vfs.Tree { return f.tree }
 func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Sleep(f.params.MetaLatency)
 	jStart := p.Now()
+	f.journalPending++
+	f.journalOps++
+	f.journalBytes += f.params.JournalBytes
 	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
+		f.journalPending--
 		return vfs.PathError("write", path, err)
 	}
+	f.journalPending--
+	f.journalLat.Observe(p.Now() - jStart)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "xfs", Name: "journal_commit",
 		Start: jStart, Dur: p.Now() - jStart, Bytes: f.params.JournalBytes, Attr: path})
 	if _, err := f.node.SSD.Write(p, pl.Size()); err != nil {
@@ -98,7 +129,12 @@ func (f *FS) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
 // Unlink implements vfs.FS: journal commit, entry removal.
 func (f *FS) Unlink(p *sim.Proc, path string) error {
 	p.Sleep(f.params.MetaLatency)
-	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
+	f.journalPending++
+	f.journalOps++
+	f.journalBytes += f.params.JournalBytes
+	_, err := f.node.SSD.Write(p, f.params.JournalBytes)
+	f.journalPending--
+	if err != nil {
 		return vfs.PathError("unlink", path, err)
 	}
 	if !f.tree.Remove(path) {

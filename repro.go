@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/trace"
 )
@@ -137,6 +138,28 @@ type TraceCollector = experiments.Collector
 
 // NewTraceCollector returns an empty trace collector.
 func NewTraceCollector() *TraceCollector { return experiments.NewCollector() }
+
+// MetricsRegistry is a run's sampled virtual-time metrics (Result.Metrics
+// when Config.MetricsInterval is set). See metrics.Registry.
+type MetricsRegistry = metrics.Registry
+
+// MetricsRun pairs a label with one run's sampled registry for export.
+type MetricsRun = metrics.Run
+
+// WriteMetricsCSV serializes sampled runs as time-series CSV (one block
+// per run, registration-order columns). Byte-deterministic.
+func WriteMetricsCSV(w io.Writer, runs []MetricsRun) error { return metrics.WriteCSV(w, runs) }
+
+// WriteMetricsProm serializes an end-of-run snapshot of sampled runs in
+// Prometheus text exposition format. Byte-deterministic.
+func WriteMetricsProm(w io.Writer, runs []MetricsRun) error { return metrics.WriteProm(w, runs) }
+
+// MetricsCollector accumulates sampled runs and utilization-dashboard rows
+// across experiments; attach one via ExperimentOptions.Metrics.
+type MetricsCollector = experiments.MetricsCollector
+
+// NewMetricsCollector returns an empty metrics collector.
+func NewMetricsCollector() *MetricsCollector { return experiments.NewMetricsCollector() }
 
 // ExperimentOptions tune paper-experiment execution.
 type ExperimentOptions = experiments.Options

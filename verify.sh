@@ -38,11 +38,22 @@ go build -race -o "$TRACETMP/experiments" ./cmd/experiments
 cmp "$TRACETMP/t1.json" "$TRACETMP/t8.json"
 cmp "$TRACETMP/out1.txt" "$TRACETMP/out8.txt"
 
-echo "== zero-alloc gate: tracing-off allocation budget =="
-# The span-tracer hooks must be free when tracing is off: the delta tests
-# scale event/op counts ~100x and require zero extra allocations (run
-# without -race; race instrumentation allocates).
-go test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/cluster/
+echo "== metrics determinism: -metrics/-metrics-prom at -j1 vs -j8 (race) =="
+# Metrics sampling must be observation-only and worker-count-independent:
+# the time-series CSV, the Prometheus snapshot, and the dashboard report
+# are byte-identical for any -j, on clean (fig5) and faulted (faultsweep)
+# seeds alike (DESIGN.md §3f).
+"$TRACETMP/experiments" -quick -q -j 1 -metrics "$TRACETMP/m1.csv" -metrics-prom "$TRACETMP/p1.prom" fig5 faultsweep > "$TRACETMP/mout1.txt"
+"$TRACETMP/experiments" -quick -q -j 8 -metrics "$TRACETMP/m8.csv" -metrics-prom "$TRACETMP/p8.prom" fig5 faultsweep > "$TRACETMP/mout8.txt"
+cmp "$TRACETMP/m1.csv" "$TRACETMP/m8.csv"
+cmp "$TRACETMP/p1.prom" "$TRACETMP/p8.prom"
+cmp "$TRACETMP/mout1.txt" "$TRACETMP/mout8.txt"
+
+echo "== zero-alloc gate: tracing/metrics-off allocation budget =="
+# The span-tracer and metrics hooks must be free when disabled: the delta
+# tests scale event/op counts ~100x and require zero extra allocations
+# (run without -race; race instrumentation allocates).
+go test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/cluster/ ./internal/metrics/
 
 echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./... =="
 # One iteration of every benchmark: catches benchmarks that panic or hang
