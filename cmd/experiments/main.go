@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 0, "base RNG seed (0 = default)")
 		quick      = fs.Bool("quick", false, "reduced sweep for smoke runs")
 		workers    = fs.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
+		pdesJ      = fs.Int("pdes-j", 0, "intra-run event-queue shards (parallel discrete-event engine; 0 or 1 = serial); output is byte-identical for any -pdes-j")
 		asJSON     = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 		asCSV      = fs.Bool("csv", false, "emit report tables as CSV (for plotting)")
 		outPath    = fs.String("o", "", "write output to file instead of stdout")
@@ -98,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = f
 	}
 
-	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers}
+	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers, ShardWorkers: *pdesJ}
 	var collector *repro.TraceCollector
 	if *traceOut != "" {
 		collector = repro.NewTraceCollector()

@@ -110,6 +110,30 @@ func newRig(cfg Config) *rig {
 	cl := cluster.New(eng, spec)
 	r := &rig{cfg: rc, eng: eng, cl: cl}
 
+	if cfg.ShardWorkers > 1 {
+		// Sharded intra-run engine (DESIGN.md §3g): processes are grouped by
+		// the compute node the placement puts them on, and the conservative
+		// window width is the hardware's cross-node latency floor. Both
+		// choices affect only which worker maintains which events — the
+		// timeline is byte-identical to the serial engine at any count.
+		workers := cfg.ShardWorkers
+		eng.SetShardWorkers(workers)
+		eng.SetLookahead(sim.Time(spec.MinLinkLatency()))
+		shardByName := make(map[string]int, 2*cfg.Pairs)
+		for pair := 0; pair < cfg.Pairs; pair++ {
+			shardByName[fmt.Sprintf("producer%03d", pair)] = cluster.ShardForNode(r.producerNode(pair).ID, workers)
+			shardByName[fmt.Sprintf("consumer%03d", pair)] = cluster.ShardForNode(r.consumerNode(pair).ID, workers)
+		}
+		eng.SetShardAssign(func(proc int32, name string) int {
+			if s, ok := shardByName[name]; ok {
+				return s
+			}
+			// Backend helpers (Lustre noise, broker callbacks) stripe by
+			// spawn order.
+			return cluster.ShardForNode(int(proc), workers)
+		})
+	}
+
 	if cfg.Trace != nil {
 		eng.SetTracer(func(t time.Duration, proc, msg string) {
 			fmt.Fprintf(cfg.Trace, "%12.6f %-14s %s\n", t.Seconds(), proc, msg)

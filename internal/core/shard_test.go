@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TestShardedRunsByteIdentical is the intra-run counterpart of the -j1/-j8
+// contract: a mixed DYAD/Lustre/XFS batch under live fault plans, with span
+// tracing AND metrics sampling on, must produce byte-identical results,
+// Chrome trace exports, and metrics CSV/Prom exports at ShardWorkers 1, 2,
+// and 8 — the engine-level guarantee verify.sh checks end to end through
+// cmd/experiments.
+func TestShardedRunsByteIdentical(t *testing.T) {
+	render := func(shardWorkers int) (string, string, string, string) {
+		cfgs := faultedBatch()
+		for i := range cfgs {
+			cfgs[i].ShardWorkers = shardWorkers
+			cfgs[i].RecordSpans = true
+			cfgs[i].MetricsInterval = 50 * time.Millisecond
+		}
+		results, err := RunMany(cfgs, 2)
+		if err != nil {
+			t.Fatalf("ShardWorkers=%d: %v", shardWorkers, err)
+		}
+		var traceRuns []trace.Run
+		var metricRuns []metrics.Run
+		for _, r := range results {
+			traceRuns = append(traceRuns, trace.Run{Label: r.Cfg.Label(), Spans: r.Spans})
+			metricRuns = append(metricRuns, metrics.Run{Label: r.Cfg.Label(), Reg: r.Metrics})
+		}
+		var chrome, csv, prom strings.Builder
+		if err := trace.WriteChrome(&chrome, traceRuns); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.WriteCSV(&csv, metricRuns); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.WriteProm(&prom, metricRuns); err != nil {
+			t.Fatal(err)
+		}
+		injected := int64(0)
+		for _, r := range results {
+			injected += r.Recovery.Injected
+		}
+		if injected == 0 {
+			t.Fatalf("ShardWorkers=%d: faulted batch injected nothing; plans degenerate", shardWorkers)
+		}
+		return canonical(results), chrome.String(), csv.String(), prom.String()
+	}
+
+	refRes, refChrome, refCSV, refProm := render(1)
+	for _, workers := range []int{2, 8} {
+		res, chrome, csv, prom := render(workers)
+		if res != refRes {
+			t.Errorf("ShardWorkers=%d: results diverged from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+				workers, refRes, res)
+		}
+		if chrome != refChrome {
+			t.Errorf("ShardWorkers=%d: Chrome trace bytes diverged from serial", workers)
+		}
+		if csv != refCSV {
+			t.Errorf("ShardWorkers=%d: metrics CSV bytes diverged from serial", workers)
+		}
+		if prom != refProm {
+			t.Errorf("ShardWorkers=%d: metrics Prom bytes diverged from serial", workers)
+		}
+	}
+}
+
+// TestShardedCleanRunMatchesSerial covers the clean (fault-free) side of
+// the same contract on each backend individually, including the stdout
+// execution timeline (Config.Trace), which flows through Proc.Tracef.
+func TestShardedCleanRunMatchesSerial(t *testing.T) {
+	m := tinyModel()
+	base := []Config{
+		{Backend: DYAD, Model: m, Frames: 8, Pairs: 3, Seed: 9, ComputeJitter: 0.02},
+		{Backend: XFS, Model: m, Frames: 8, Pairs: 2, SingleNode: true, Seed: 10, ComputeJitter: 0.02},
+		{Backend: Lustre, Model: m, Frames: 8, Pairs: 3, Seed: 11, LustreNoise: true},
+	}
+	run := func(cfg Config, shardWorkers int) (string, string) {
+		var timeline strings.Builder
+		cfg.ShardWorkers = shardWorkers
+		cfg.Trace = &timeline
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s ShardWorkers=%d: %v", cfg.Label(), shardWorkers, err)
+		}
+		return canonical([]*Result{res}), timeline.String()
+	}
+	for _, cfg := range base {
+		refRes, refTimeline := run(cfg, 1)
+		if refTimeline == "" {
+			t.Fatalf("%s: empty execution timeline", cfg.Label())
+		}
+		for _, workers := range []int{2, 8} {
+			res, timeline := run(cfg, workers)
+			if res != refRes {
+				t.Errorf("%s ShardWorkers=%d: result diverged from serial", cfg.Label(), workers)
+			}
+			if timeline != refTimeline {
+				t.Errorf("%s ShardWorkers=%d: execution timeline diverged from serial", cfg.Label(), workers)
+			}
+		}
+	}
+}
+
+func TestConfigRejectsNegativeShardWorkers(t *testing.T) {
+	cfg := Config{Backend: DYAD, Model: tinyModel(), Frames: 1, Pairs: 1, ShardWorkers: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative ShardWorkers accepted")
+	}
+}

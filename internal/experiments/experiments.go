@@ -33,6 +33,11 @@ type Options struct {
 	// per available core). Results are identical for any worker count; only
 	// wall-clock time changes.
 	Workers int
+	// ShardWorkers shards each run's event queue across this many
+	// concurrently-maintained partitions (core.Config.ShardWorkers, the
+	// -pdes-j flag). Like Workers, it never changes results — output is
+	// byte-identical at any value; 0 or 1 is the serial engine.
+	ShardWorkers int
 	// Trace, when non-nil, enables span tracing on one repetition of each
 	// configuration and collects the traces for Chrome export plus
 	// per-experiment breakdown reports. Recording is observation-only:
@@ -192,6 +197,7 @@ func mustModel(name string) models.Model {
 func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 	cfg.Frames = o.Frames
 	cfg.Seed = o.Seed
+	cfg.ShardWorkers = o.ShardWorkers
 	cfg.ComputeJitter = 0.004
 	if cfg.Backend == core.Lustre {
 		cfg.LustreNoise = true

@@ -37,6 +37,7 @@ func Straggler(o Options) (*Report, error) {
 			cfg := core.Config{
 				Backend: b, Model: jac, Pairs: pairs,
 				Frames: o.Frames, Seed: o.Seed, ComputeJitter: 0.004,
+				ShardWorkers: o.ShardWorkers,
 				KeepProfiles: true,
 			}
 			if b == core.Lustre {

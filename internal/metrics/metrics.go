@@ -339,7 +339,7 @@ func WriteCSV(w io.Writer, runs []Run) error {
 			bw.WriteByte('\n')
 		}
 		bw.WriteString("# ")
-		bw.WriteString(run.Label)
+		bw.WriteString(csvComment(run.Label))
 		bw.WriteByte('\n')
 		bw.WriteString("time_s")
 		for _, s := range run.Reg.Series() {
@@ -406,11 +406,22 @@ func promName(name string) string {
 	return b.String()
 }
 
-// promLabel escapes a label value per the text exposition format.
+// promLabel escapes a label value per the Prometheus text exposition
+// format: backslash first (so the escapes it introduces are not
+// re-escaped), then quote, then newline.
 func promLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
 	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// csvComment escapes a run label for the single-line "# label" comment of
+// the CSV export: embedded line breaks become visible \n / \r escapes so a
+// hostile label cannot inject rows into the data block.
+func csvComment(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, "\r", `\r`)
 }
 
 // histUpper returns bucket b's inclusive upper bound in seconds for the

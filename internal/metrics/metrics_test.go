@@ -218,6 +218,47 @@ func TestWritePromSnapshot(t *testing.T) {
 	}
 }
 
+// TestExportersEscapeHostileLabel is the full golden for a label carrying
+// every character the exporters must neutralize: backslashes (including a
+// trailing one), double quotes, and line breaks. Prometheus output follows
+// the text exposition format escaping (\\ then \" then \n, in that order);
+// the CSV "# label" comment keeps the label on one line so a hostile label
+// cannot inject data rows.
+func TestExportersEscapeHostileLabel(t *testing.T) {
+	hostile := "bad\"run\\name\nwith=\"x\\n\"\r tail\\"
+	r := New(time.Second)
+	n := 0.0
+	r.Counter("ops", func() float64 { return n })
+	n = 3
+	r.Sample(time.Second)
+	runs := []Run{{Label: hostile, Reg: r}}
+
+	var prom strings.Builder
+	if err := WriteProm(&prom, runs); err != nil {
+		t.Fatal(err)
+	}
+	wantProm := "# TYPE repro_ops_total counter\n" +
+		"repro_ops_total{run=\"bad\\\"run\\\\name\\nwith=\\\"x\\\\n\\\"\r tail\\\\\"} 3\n"
+	if prom.String() != wantProm {
+		t.Fatalf("prom golden mismatch:\ngot:  %q\nwant: %q", prom.String(), wantProm)
+	}
+	// The value line must parse as exactly one sample: one unescaped quote
+	// pair around the label, no raw newline inside it.
+	lines := strings.Split(strings.TrimSuffix(prom.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("prom output has %d lines, want 2 (TYPE + sample):\n%q", len(lines), prom.String())
+	}
+
+	var csvb strings.Builder
+	if err := WriteCSV(&csvb, runs); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "# bad\"run\\\\name\\nwith=\"x\\\\n\"\\r tail\\\\\ntime_s,ops\n1,3\n"
+	if csvb.String() != wantCSV {
+		t.Fatalf("csv golden mismatch:\ngot:  %q\nwant: %q", csvb.String(), wantCSV)
+	}
+}
+
 // TestWritePromGroupsTypeLines pins the exposition-format invariant that a
 // metric name appearing in several runs gets exactly one # TYPE line.
 func TestWritePromGroupsTypeLines(t *testing.T) {

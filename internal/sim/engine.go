@@ -93,6 +93,18 @@ type Engine struct {
 	sampleEvery Time
 	sampleNext  Time
 	sampleFn    func(t Time)
+
+	// Sharded parallel (PDES) mode; see shard.go. shardWorkers <= 1 keeps
+	// the serial engine: the exact code path above this comment, untouched.
+	shardWorkers int
+	lookahead    Time
+	assign       func(proc int32, name string) int
+	shards       []shard
+	shardOf      []int32 // proc index -> owning shard, resolved lazily
+	sharded      bool    // sharded routing active (inside runSharded)
+	windowEnd    Time    // current fire window end (-1 between windows)
+	fireq        []event // current window's merge heap, kernel-owned
+	ack          chan struct{}
 }
 
 // NewEngine returns an engine with its virtual clock at zero. The seed
@@ -168,18 +180,36 @@ func (e *Engine) Events() int64 { return e.fired }
 // event, so installing a sampler cannot change the event timeline. fn must
 // only observe state (no scheduling, no RNG draws). A nil fn (the default)
 // disables sampling; the run loop then pays one nil check per event.
+//
+// Two boundary rules keep sampled series well-formed:
+//
+//   - The first boundary is the first multiple of every strictly after the
+//     current clock. Re-arming a sampler mid-run therefore never replays
+//     past boundaries (which would run fn with the clock parked before
+//     Now()) and never double-samples a boundary the previous sampler
+//     already took when the run horizon landed exactly on it.
+//   - Boundaries fire only for events that actually execute. An event that
+//     trips the watchdog aborts the run before any of the boundaries it
+//     would have carried the timeline across, so an ErrWatchdog unwind
+//     takes no samples past the last healthy event.
 func (e *Engine) SetSampler(every Time, fn func(t Time)) {
 	if fn != nil && every <= 0 {
 		panic("sim: nonpositive sample interval")
 	}
 	e.sampleEvery = every
-	e.sampleNext = every
 	e.sampleFn = fn
+	e.sampleNext = 0
+	if fn != nil {
+		e.sampleNext = (e.now/every + 1) * every
+	}
 }
 
-// push inserts ev into the heap.
-func (e *Engine) push(ev event) {
-	pq := append(e.pq, ev)
+// heapPush inserts ev into the inlined 4-ary min-heap pq (ordered by
+// (at, seq)) and returns the updated slice. One heap implementation serves
+// the serial queue, the per-shard queues, and the window merge heap, so the
+// ordering contract cannot drift between serial and sharded execution.
+func heapPush(pq []event, ev event) []event {
+	pq = append(pq, ev)
 	i := len(pq) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -189,20 +219,18 @@ func (e *Engine) push(ev event) {
 		pq[i], pq[parent] = pq[parent], pq[i]
 		i = parent
 	}
-	e.pq = pq
+	return pq
 }
 
-// pop removes and returns the earliest event.
-func (e *Engine) pop() event {
-	pq := e.pq
+// heapPop removes and returns the earliest event of pq.
+func heapPop(pq []event) (event, []event) {
 	top := pq[0]
 	n := len(pq) - 1
 	last := pq[n]
 	pq[n] = event{} // clear the vacated slot so callbacks are not pinned
 	pq = pq[:n]
-	e.pq = pq
 	if n == 0 {
-		return top
+		return top, pq
 	}
 	// Sift last down from the root.
 	i := 0
@@ -228,6 +256,24 @@ func (e *Engine) pop() event {
 		i = min
 	}
 	pq[i] = last
+	return top, pq
+}
+
+// push inserts ev into the pending-event structure: the serial heap, or —
+// while a sharded run is active — the owning shard's inbox / the current
+// window's merge heap (see route in shard.go).
+func (e *Engine) push(ev event) {
+	if e.sharded {
+		e.route(ev)
+		return
+	}
+	e.pq = heapPush(e.pq, ev)
+}
+
+// pop removes and returns the earliest event of the serial heap.
+func (e *Engine) pop() event {
+	var top event
+	top, e.pq = heapPop(e.pq)
 	return top
 }
 
@@ -274,32 +320,69 @@ func (e *Engine) After(d Time, fn func()) {
 // It returns the first process failure, or ErrStranded if processes remain
 // blocked with no pending events (a lost-signal deadlock). All stranded
 // processes are aborted before Run returns, so no goroutines leak.
+//
+// With SetShardWorkers(n > 1) the run executes on the sharded parallel
+// engine (see shard.go); the virtual timeline, every measurement, and every
+// observation stream are byte-identical to the serial engine's.
 func (e *Engine) Run() error {
+	if e.shardWorkers > 1 {
+		e.runSharded()
+	} else {
+		e.runSerial()
+	}
+	return e.finish()
+}
+
+// runSerial is the classic engine loop: pop and execute events in (at, seq)
+// order from the single heap.
+func (e *Engine) runSerial() {
 	for len(e.pq) > 0 {
 		ev := e.pop()
-		if e.sampleFn != nil {
-			// Fire every sample boundary the timeline is about to cross,
-			// with the clock parked on the boundary so time-integrated
-			// probes (Resource.BusyUnitNanos) integrate exactly to it.
-			// Boundaries at the event's own instant sample before it fires.
-			for e.sampleNext <= ev.at {
-				e.now = e.sampleNext
-				e.sampleFn(e.sampleNext)
-				e.sampleNext += e.sampleEvery
-			}
-		}
-		e.now = ev.at
-		e.fired++
-		if (e.maxEvents > 0 && e.fired > e.maxEvents) || (e.maxTime > 0 && e.now > e.maxTime) {
-			e.failure = fmt.Errorf("%w: %d events fired, virtual time %v (limits: %d events, %v)",
-				ErrWatchdog, e.fired, e.now, e.maxEvents, e.maxTime)
-			break
-		}
-		e.fire(&ev)
-		if e.failure != nil {
+		if !e.step(&ev) {
 			break
 		}
 	}
+}
+
+// step advances the run by one popped event: it checks the watchdog, fires
+// the sampler for every boundary the event carries the timeline across, and
+// executes the event. It returns false when the run must stop (watchdog
+// trip or process failure). Both the serial loop and the sharded window
+// loop drive the run exclusively through step, so the two modes cannot
+// diverge in sampling, watchdog, or failure semantics.
+func (e *Engine) step(ev *event) bool {
+	// The watchdog is checked before the sampler so an aborting run takes
+	// no samples for boundaries its final, never-executed event would have
+	// crossed (see SetSampler).
+	if (e.maxEvents > 0 && e.fired+1 > e.maxEvents) || (e.maxTime > 0 && ev.at > e.maxTime) {
+		e.now = ev.at
+		e.fired++
+		e.failure = fmt.Errorf("%w: %d events fired, virtual time %v (limits: %d events, %v)",
+			ErrWatchdog, e.fired, e.now, e.maxEvents, e.maxTime)
+		return false
+	}
+	if e.sampleFn != nil {
+		// Fire every sample boundary the timeline is about to cross,
+		// with the clock parked on the boundary so time-integrated
+		// probes (Resource.BusyUnitNanos) integrate exactly to it.
+		// Boundaries at the event's own instant sample before it fires.
+		for e.sampleNext <= ev.at {
+			e.now = e.sampleNext
+			e.sampleFn(e.sampleNext)
+			e.sampleNext += e.sampleEvery
+		}
+	}
+	e.now = ev.at
+	e.fired++
+	e.fire(ev)
+	return e.failure == nil
+}
+
+// finish unwinds the run: stranded and orphaned processes are aborted,
+// cleanup events are drained, and the first failure (or strandedness) is
+// reported. Sharded runs collapse back to the serial heap before finish, so
+// there is exactly one unwinding path.
+func (e *Engine) finish() error {
 	var stranded []string
 	for _, p := range e.procs {
 		switch {

@@ -36,7 +36,16 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform value in [0, n). n must be > 0.
+// Intn returns a value in [0, n). n must be > 0.
+//
+// The reduction is a plain modulo, which carries the classic bias: values
+// below 2^64 mod n are favored by at most n/2^64 — under 10^-13 even for
+// n around one hour in nanoseconds, far below anything the simulation's
+// statistics can resolve. It stays (rather than rejection sampling or
+// Lemire's method) deliberately: an unbiased reduction consumes a
+// data-dependent number of stream draws, which would shift every seeded
+// timeline ever published by this repo. TestRNGStreamPinned locks the
+// exact mapping.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with n <= 0")
@@ -57,6 +66,13 @@ func (r *RNG) Norm() float64 {
 // Jitter returns d scaled by a positive multiplicative noise factor with
 // the given relative standard deviation (lognormal-ish; clamped at ±4σ).
 // It models per-step compute-time variability.
+//
+// Nonpositive d or relStd return d unchanged without consuming the stream
+// (callers sweep relStd down to zero; drawing for the no-op case would
+// shift every downstream sample). The result is clamped to [0, MaxInt64]
+// after the draw: huge d with a high-σ factor must saturate, not wrap to a
+// negative duration the kernel would reject. Clamping happens after the
+// stream is consumed, so enabling it never moved any seeded timeline.
 func (r *RNG) Jitter(d time.Duration, relStd float64) time.Duration {
 	if relStd <= 0 || d <= 0 {
 		return d
@@ -68,14 +84,35 @@ func (r *RNG) Jitter(d time.Duration, relStd float64) time.Duration {
 		z = -4
 	}
 	f := math.Exp(relStd*z - relStd*relStd/2)
-	return time.Duration(float64(d) * f)
+	return clampDuration(float64(d) * f)
 }
 
 // Exp returns an exponential sample with the given mean.
+//
+// A nonpositive mean returns 0 without consuming the stream — the sensible
+// degenerate distribution (previously it produced a negative duration,
+// which no caller could schedule). Valid means draw exactly as before and
+// clamp the result to [0, MaxInt64] after the draw, so overflow saturates
+// instead of wrapping negative and seeded streams are unchanged.
 func (r *RNG) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()
 	}
-	return time.Duration(-float64(mean) * math.Log(u))
+	return clampDuration(-float64(mean) * math.Log(u))
+}
+
+// clampDuration converts a float sample to a Duration, saturating at the
+// representable range instead of wrapping on overflow. NaN maps to 0.
+func clampDuration(f float64) time.Duration {
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f > 0 {
+		return time.Duration(f)
+	}
+	return 0
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -127,6 +128,92 @@ func TestSamplerBusyIntegralExact(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != int64(100*time.Millisecond) {
 		t.Fatalf("busy integral at 100ms boundary = %v, want [100ms in nanos]", got)
+	}
+}
+
+// TestSamplerStopsAtWatchdog pins the watchdog/sampler ordering: an event
+// the watchdog rejects fires no sample, even when boundaries lie between
+// the last fired event and the rejected one. Hand-computed sequence:
+// events at 120/240/360ms against a 300ms limit and a 100ms interval
+// sample exactly [100ms, 200ms] — never 300ms, because the 360ms event is
+// aborted before any of its boundaries are visited.
+func TestSamplerStopsAtWatchdog(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.SetSampler(100*time.Millisecond, func(ts Time) { at = append(at, ts) })
+	e.SetWatchdog(0, 300*time.Millisecond)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(120 * time.Millisecond)
+		}
+	})
+	if err := e.Run(); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	want := []Time{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("sampled %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", at, want)
+		}
+	}
+}
+
+// TestSamplerRearmMidRun pins the re-arm contract: installing a sampler
+// while the clock is mid-run starts at the first boundary strictly AFTER
+// the current time — never at a boundary already passed (which would park
+// the clock backwards) and never at the current instant twice. A proc
+// re-arms at t=250ms and at the exact boundary t=400ms; hand-computed
+// boundaries from there are [300, 400] then [500].
+func TestSamplerRearmMidRun(t *testing.T) {
+	e := NewEngine(1)
+	var first, second []Time
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(250 * time.Millisecond)
+		e.SetSampler(100*time.Millisecond, func(ts Time) { first = append(first, ts) })
+		p.Sleep(150 * time.Millisecond) // lands exactly on the 400ms boundary
+		e.SetSampler(100*time.Millisecond, func(ts Time) { second = append(second, ts) })
+		p.Sleep(100 * time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantFirst := []Time{300 * time.Millisecond, 400 * time.Millisecond}
+	wantSecond := []Time{500 * time.Millisecond}
+	check := func(name string, got, want []Time) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s sampled %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sampled %v, want %v", name, got, want)
+			}
+		}
+	}
+	check("first sampler", first, wantFirst)
+	check("second sampler", second, wantSecond)
+}
+
+// TestSamplerClearMidRun: SetSampler(_, nil) detaches the hook without
+// arithmetic on the interval (the nil path must not divide by zero when
+// the interval is also zeroed).
+func TestSamplerClearMidRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.SetSampler(100*time.Millisecond, func(Time) { n++ })
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(250 * time.Millisecond)
+		e.SetSampler(100*time.Millisecond, nil)
+		p.Sleep(300 * time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("sampled %d boundaries, want 2 (detached at 250ms)", n)
 	}
 }
 

@@ -1,0 +1,283 @@
+package sim
+
+// This file is the sharded parallel discrete-event engine (PDES) —
+// conservative synchronization with a deterministic merge.
+//
+// Architecture (DESIGN.md §3g):
+//
+//   - The pending-event set is partitioned across shardWorkers shards, each
+//     owning a private 4-ary min-heap plus an unsorted inbox. Process idx is
+//     owned by the shard SetShardAssign chooses (node-group assignment when
+//     the harness wires one from cluster placement; idx mod shards
+//     otherwise); callback events belong to shard 0.
+//   - The run advances in conservative windows. At each window barrier every
+//     shard's worker goroutine concurrently folds its inbox into its heap
+//     and reports its head; the kernel takes T = min over shard heads and
+//     opens the window [T, T+lookahead], where lookahead is derived from the
+//     minimum cross-shard link latency (cluster.Spec.MinLinkLatency). Each
+//     worker then concurrently extracts its window-eligible events (at <=
+//     windowEnd) in heap order.
+//   - The kernel merges the extracted runs into one window heap and fires
+//     them strictly in (at, seq) order — the exact order the serial engine
+//     pops, so the virtual timeline is byte-identical at any worker count.
+//     Events created while the window executes are routed by time: inside
+//     the open window they join the merge heap directly (they must fire this
+//     window — this is what makes the lookahead bound a batching choice, not
+//     a causality gamble); beyond it they are appended to the owning shard's
+//     inbox for a later window.
+//
+// Only heap maintenance (inbox folding, sift-downs, window extraction) runs
+// concurrently; event execution itself stays serialized on the kernel
+// goroutine, because simulated processes share model state freely. Phases
+// are separated by channel barriers, so every shard structure has a single
+// owner at any instant and the engine is race-detector-clean. Events,
+// seq numbers, sampler boundaries, and watchdog accounting are all
+// identical to serial execution — verify.sh enforces byte-identical output
+// across -pdes-j 1/2/8 for clean and faulted seeds.
+
+// shard is one partition of the pending-event set.
+type shard struct {
+	pq      []event // private 4-ary min-heap; owned by the worker during phases
+	inbox   []event // events routed here while the kernel fires a window
+	staged  []event // window extraction output, ascending (at, seq)
+	head    event   // minimum pending event after a drain phase
+	hasHead bool
+
+	cmd chan shardOp
+}
+
+// shardOp is a phase command the kernel broadcasts to shard workers.
+type shardOp uint8
+
+const (
+	// opDrain folds the shard's inbox into its heap and reports its head.
+	opDrain shardOp = iota
+	// opExtract pops every event with at <= windowEnd into staged.
+	opExtract
+	// opQuit retires the worker goroutine.
+	opQuit
+)
+
+// SetShardWorkers selects the execution mode for subsequent Runs: n > 1
+// shards the event queue across n concurrently-maintained partitions;
+// n <= 1 (the default) keeps the serial engine, bit-for-bit. The virtual
+// timeline is byte-identical either way — sharding only changes host
+// wall-clock behavior. Call before Run; n must not change between the Runs
+// of one engine once processes have been assigned.
+func (e *Engine) SetShardWorkers(n int) {
+	if n < 0 {
+		panic("sim: negative shard worker count")
+	}
+	if e.shards != nil && n != len(e.shards) {
+		panic("sim: shard worker count changed after sharded structures were built")
+	}
+	e.shardWorkers = n
+}
+
+// ShardWorkers returns the configured shard worker count (0 or 1 = serial).
+func (e *Engine) ShardWorkers() int { return e.shardWorkers }
+
+// SetLookahead sets the conservative window width of sharded runs: each
+// window fires every pending event in [T, T+d] where T is the earliest
+// pending time. Harnesses derive d from the minimum cross-shard link
+// latency of the modeled hardware (cluster.Spec.MinLinkLatency). The value
+// only batches work per barrier — correctness and the timeline never depend
+// on it, because events created inside an open window join it directly.
+// Zero (the default) degenerates to one-instant windows.
+func (e *Engine) SetLookahead(d Time) {
+	if d < 0 {
+		panic("sim: negative lookahead")
+	}
+	e.lookahead = d
+}
+
+// SetShardAssign installs the process-to-shard assignment used by sharded
+// runs: fn maps a process (index and name, in spawn order) to a shard, taken
+// modulo the shard count. The assignment must be deterministic; it affects
+// only which worker maintains the process's events, never their order. Nil
+// (the default) assigns proc idx to shard idx mod shards. Call before Run.
+func (e *Engine) SetShardAssign(fn func(proc int32, name string) int) { e.assign = fn }
+
+// route places ev while sharded routing is active: events inside the open
+// fire window join the kernel's merge heap (they must fire this window);
+// everything else is appended, unsorted, to the owning shard's inbox — the
+// shard's worker folds its inbox into its heap at the next window barrier.
+// route runs only on the kernel goroutine (event execution is serialized),
+// so inboxes need no locks; the phase barriers order them with the workers.
+func (e *Engine) route(ev event) {
+	if ev.at <= e.windowEnd {
+		e.fireq = heapPush(e.fireq, ev)
+		return
+	}
+	s := &e.shards[e.shardIndex(ev.proc)]
+	s.inbox = append(s.inbox, ev)
+}
+
+// shardIndex resolves (and caches) the shard owning events of proc idx.
+// Callback events (idx < 0) belong to shard 0.
+func (e *Engine) shardIndex(idx int32) int32 {
+	if idx < 0 {
+		return 0
+	}
+	for int(idx) >= len(e.shardOf) {
+		e.shardOf = append(e.shardOf, -1)
+	}
+	if s := e.shardOf[idx]; s >= 0 {
+		return s
+	}
+	n := len(e.shards)
+	s := int(idx) % n
+	if e.assign != nil {
+		s = e.assign(idx, e.procs[idx].name) % n
+		if s < 0 {
+			s += n
+		}
+	}
+	e.shardOf[idx] = int32(s)
+	return int32(s)
+}
+
+// runSharded is the sharded counterpart of runSerial: windows of events are
+// extracted concurrently per shard and fired in globally merged (at, seq)
+// order through the same step function the serial loop uses.
+func (e *Engine) runSharded() {
+	if e.shards == nil {
+		e.shards = make([]shard, e.shardWorkers)
+		e.ack = make(chan struct{})
+		for i := range e.shards {
+			e.shards[i].cmd = make(chan shardOp)
+		}
+	}
+	e.sharded = true
+	e.windowEnd = -1
+	// Seed the shards with everything scheduled before Run (and anything a
+	// previous Run on this engine left pending).
+	for _, ev := range e.pq {
+		e.route(ev)
+	}
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
+
+	for i := range e.shards {
+		go e.shardWorker(&e.shards[i])
+	}
+
+	for e.failure == nil {
+		// Barrier 1: every shard folds its inbox and reports its head.
+		e.broadcast(opDrain)
+		lo := -1
+		for i := range e.shards {
+			s := &e.shards[i]
+			if s.hasHead && (lo < 0 || s.head.before(&e.shards[lo].head)) {
+				lo = i
+			}
+		}
+		if lo < 0 {
+			break // every queue is empty: the run is complete
+		}
+		e.windowEnd = e.shards[lo].head.at + e.lookahead
+		// Barrier 2: every shard extracts its window-eligible events.
+		e.broadcast(opExtract)
+		for i := range e.shards {
+			s := &e.shards[i]
+			for _, ev := range s.staged {
+				e.fireq = heapPush(e.fireq, ev)
+			}
+			for j := range s.staged {
+				s.staged[j] = event{}
+			}
+			s.staged = s.staged[:0]
+		}
+		// Fire the merged window in global (at, seq) order — exactly the
+		// order the serial engine pops these events.
+		for len(e.fireq) > 0 {
+			var ev event
+			ev, e.fireq = heapPop(e.fireq)
+			if !e.step(&ev) {
+				break
+			}
+		}
+		e.windowEnd = -1
+	}
+
+	e.broadcast(opQuit)
+	e.collapse()
+}
+
+// broadcast issues one phase command to every shard worker and waits for
+// all acknowledgements — a full barrier. The channel handshakes also carry
+// the happens-before edges that hand shard structures between the kernel
+// and the workers, which is what keeps the engine race-free.
+func (e *Engine) broadcast(op shardOp) {
+	for i := range e.shards {
+		e.shards[i].cmd <- op
+	}
+	for range e.shards {
+		<-e.ack
+	}
+}
+
+// shardWorker maintains one shard's heap across phase commands. It touches
+// only its own shard (plus the read-only window bound), so workers never
+// contend.
+func (e *Engine) shardWorker(s *shard) {
+	for op := range s.cmd {
+		switch op {
+		case opDrain:
+			for _, ev := range s.inbox {
+				s.pq = heapPush(s.pq, ev)
+			}
+			for i := range s.inbox {
+				s.inbox[i] = event{}
+			}
+			s.inbox = s.inbox[:0]
+			s.hasHead = len(s.pq) > 0
+			if s.hasHead {
+				s.head = s.pq[0]
+			}
+		case opExtract:
+			end := e.windowEnd
+			for len(s.pq) > 0 && s.pq[0].at <= end {
+				var ev event
+				ev, s.pq = heapPop(s.pq)
+				s.staged = append(s.staged, ev)
+			}
+		case opQuit:
+			e.ack <- struct{}{}
+			return
+		}
+		e.ack <- struct{}{}
+	}
+}
+
+// collapse folds every still-pending sharded event back into the serial
+// heap and deactivates sharded routing, so finish() — stranded-process
+// unwinding and the post-failure drain — sees exactly the serial engine's
+// state. Aborted runs leave events behind; completed runs collapse nothing.
+func (e *Engine) collapse() {
+	e.sharded = false
+	e.windowEnd = -1
+	for len(e.fireq) > 0 {
+		var ev event
+		ev, e.fireq = heapPop(e.fireq)
+		e.pq = heapPush(e.pq, ev)
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		for len(s.pq) > 0 {
+			var ev event
+			ev, s.pq = heapPop(s.pq)
+			e.pq = heapPush(e.pq, ev)
+		}
+		for _, ev := range s.inbox {
+			e.pq = heapPush(e.pq, ev)
+		}
+		for j := range s.inbox {
+			s.inbox[j] = event{}
+		}
+		s.inbox = s.inbox[:0]
+		s.hasHead = false
+	}
+}

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardTrace runs workload on an engine configured with the given shard
+// worker count and returns the full trace transcript plus final state.
+// Identical transcripts across worker counts are the PDES determinism
+// contract: the virtual timeline is a pure function of (seed, workload).
+func shardTrace(t *testing.T, workers int, lookahead Time, workload func(e *Engine)) (string, Time, int64, error) {
+	t.Helper()
+	e := NewEngine(99)
+	if workers > 1 {
+		e.SetShardWorkers(workers)
+		e.SetLookahead(lookahead)
+	}
+	var b strings.Builder
+	e.SetTracer(func(at Time, proc, msg string) {
+		fmt.Fprintf(&b, "%v %s %s\n", at, proc, msg)
+	})
+	workload(e)
+	err := e.Run()
+	return b.String(), e.Now(), e.Events(), err
+}
+
+// contendedWorkload is a mixed workload exercising every cross-shard
+// interaction class: timed sleeps, resource contention (FIFO queues),
+// signal wake-ups, RNG-jittered service times, and late spawns.
+func contendedWorkload(e *Engine) {
+	res := NewResource(e, "dev", 2)
+	var sig Signal
+	for i := 0; i < 9; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("worker%d", i), func(p *Proc) {
+			for j := 0; j < 6; j++ {
+				res.Use(p, Time(p.Rand().Intn(int(700*time.Microsecond))))
+				p.Sleep(Time(p.Rand().Intn(int(300 * time.Microsecond))))
+				p.Tracef("round %d done", j)
+			}
+			if i%3 == 0 {
+				sig.Wait(p)
+				p.Tracef("woken")
+			}
+		})
+	}
+	e.Spawn("broadcaster", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		// Late spawn from inside a running process: the child must land on
+		// a deterministic shard and start at the current instant.
+		p.Engine().Spawn("late", func(q *Proc) {
+			q.Sleep(time.Millisecond)
+			q.Tracef("late done")
+		})
+		p.Sleep(5 * time.Millisecond)
+		sig.Broadcast()
+		p.Tracef("broadcast")
+	})
+}
+
+// TestShardedMatchesSerial locks the tentpole contract: the full trace
+// transcript, final virtual time, and fired-event count are identical for
+// shard worker counts 1 (serial), 2, and 8, across three lookahead regimes
+// (zero, the fabric-latency scale, and absurdly wide windows).
+func TestShardedMatchesSerial(t *testing.T) {
+	refTrace, refEnd, refEvents, err := shardTrace(t, 1, 0, contendedWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refEvents == 0 || refTrace == "" {
+		t.Fatal("reference run produced no events or trace")
+	}
+	for _, workers := range []int{2, 8} {
+		for _, la := range []Time{0, 4 * time.Microsecond, time.Hour} {
+			got, end, events, err := shardTrace(t, workers, la, contendedWorkload)
+			if err != nil {
+				t.Fatalf("workers=%d lookahead=%v: %v", workers, la, err)
+			}
+			if got != refTrace {
+				t.Fatalf("workers=%d lookahead=%v: trace diverged from serial\nserial:\n%s\nsharded:\n%s",
+					workers, la, refTrace, got)
+			}
+			if end != refEnd || events != refEvents {
+				t.Fatalf("workers=%d lookahead=%v: end=%v events=%d, want end=%v events=%d",
+					workers, la, end, events, refEnd, refEvents)
+			}
+		}
+	}
+}
+
+// TestShardInboxTieBreak pins the merge tie-break: events with colliding
+// virtual times routed through different shard inboxes must fire in global
+// schedule (seq) order — exactly as if one heap held them all. Processes are
+// pinned to distinct shards and all wake at the same instant, twice, with
+// the second wave's wakes issued in reverse order.
+func TestShardInboxTieBreak(t *testing.T) {
+	run := func(workers int) string {
+		e := NewEngine(1)
+		if workers > 1 {
+			e.SetShardWorkers(workers)
+			// Pin proc i to shard i so every same-instant delivery crosses a
+			// different inbox.
+			e.SetShardAssign(func(proc int32, name string) int { return int(proc) })
+		}
+		var b strings.Builder
+		e.SetTracer(func(at Time, proc, msg string) {
+			fmt.Fprintf(&b, "%v %s %s\n", at, proc, msg)
+		})
+		procs := make([]*Proc, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			procs[i] = e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Tracef("start")
+				p.Block()
+				p.Tracef("wave1")
+				p.Block()
+				p.Tracef("wave2")
+			})
+		}
+		e.Spawn("waker", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			for i := 0; i < 4; i++ { // wave 1: spawn order
+				procs[i].Wake()
+			}
+			p.Sleep(time.Millisecond)
+			for i := 3; i >= 0; i-- { // wave 2: reverse order
+				procs[i].Wake()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+
+	serial := run(1)
+	// Wave ordering is decided by seq alone (all four wakes share one
+	// instant): wave 1 fires p0..p3, wave 2 fires p3..p0.
+	for _, want := range []string{
+		"1ms p0 wave1", "1ms p1 wave1", "1ms p2 wave1", "1ms p3 wave1",
+		"2ms p3 wave2", "2ms p2 wave2", "2ms p1 wave2", "2ms p0 wave2",
+	} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("serial transcript missing %q:\n%s", want, serial)
+		}
+	}
+	if idx1, idx2 := strings.Index(serial, "1ms p0 wave1"), strings.Index(serial, "1ms p3 wave1"); idx1 > idx2 {
+		t.Fatalf("serial wave 1 out of seq order:\n%s", serial)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d transcript diverged:\nserial:\n%s\nsharded:\n%s", workers, serial, got)
+		}
+	}
+}
+
+// TestShardedSamplerAndWatchdogParity runs a sampled, watchdog-armed
+// workload serially and sharded: sample boundary sequences and the
+// watchdog failure (text included) must match byte for byte.
+func TestShardedSamplerAndWatchdogParity(t *testing.T) {
+	run := func(workers int) ([]Time, string) {
+		e := NewEngine(3)
+		if workers > 1 {
+			e.SetShardWorkers(workers)
+			e.SetLookahead(time.Millisecond)
+		}
+		var samples []Time
+		e.SetSampler(10*time.Millisecond, func(ts Time) {
+			if e.Now() != ts {
+				t.Errorf("workers=%d: clock %v not parked on boundary %v", workers, e.Now(), ts)
+			}
+			samples = append(samples, ts)
+		})
+		e.SetWatchdog(0, 95*time.Millisecond)
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for {
+					p.Sleep(7 * time.Millisecond)
+				}
+			})
+		}
+		err := e.Run()
+		if !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("workers=%d: err = %v, want ErrWatchdog", workers, err)
+		}
+		return samples, err.Error()
+	}
+
+	refSamples, refErr := run(1)
+	if len(refSamples) == 0 {
+		t.Fatal("reference run took no samples")
+	}
+	for _, workers := range []int{2, 8} {
+		samples, errText := run(workers)
+		if len(samples) != len(refSamples) {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(samples), len(refSamples))
+		}
+		for i := range samples {
+			if samples[i] != refSamples[i] {
+				t.Fatalf("workers=%d: sample %d at %v, want %v", workers, i, samples[i], refSamples[i])
+			}
+		}
+		if errText != refErr {
+			t.Fatalf("workers=%d: watchdog error %q, want %q", workers, errText, refErr)
+		}
+	}
+}
+
+// TestShardedStrandedParity checks the stranded-process diagnosis (and its
+// process list) survives sharding unchanged.
+func TestShardedStrandedParity(t *testing.T) {
+	run := func(workers int) string {
+		e := NewEngine(5)
+		if workers > 1 {
+			e.SetShardWorkers(workers)
+		}
+		e.Spawn("finisher", func(p *Proc) { p.Sleep(time.Millisecond) })
+		e.Spawn("lost-a", func(p *Proc) { p.Block() })
+		e.Spawn("lost-b", func(p *Proc) { p.Block() })
+		err := e.Run()
+		if !errors.Is(err, ErrStranded) {
+			t.Fatalf("workers=%d: err = %v, want ErrStranded", workers, err)
+		}
+		return err.Error()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d: stranded error %q, want %q", workers, got, serial)
+		}
+	}
+}
+
+// TestShardedProcessFailureParity checks a panicking process aborts a
+// sharded run with the identical wrapped error and no goroutine leaks.
+func TestShardedProcessFailureParity(t *testing.T) {
+	before := runtime.NumGoroutine()
+	run := func(workers int) string {
+		e := NewEngine(5)
+		if workers > 1 {
+			e.SetShardWorkers(workers)
+		}
+		for i := 0; i < 6; i++ {
+			e.Spawn(fmt.Sprintf("sleeper%d", i), func(p *Proc) { p.Sleep(time.Hour) })
+		}
+		e.Spawn("bomb", func(p *Proc) {
+			p.Sleep(2 * time.Millisecond)
+			panic(errors.New("injected failure"))
+		})
+		err := e.Run()
+		if err == nil {
+			t.Fatalf("workers=%d: run succeeded, want failure", workers)
+		}
+		return err.Error()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d: failure %q, want %q", workers, got, serial)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d: sharded aborts leak", before, after)
+	}
+}
+
+// TestShardedEngineRunsAgain checks an engine can Run a second sharded
+// round: leftover structures are reused and new work is routed correctly.
+func TestShardedEngineRunsAgain(t *testing.T) {
+	e := NewEngine(7)
+	e.SetShardWorkers(4)
+	done := 0
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("a%d", i), func(p *Proc) { p.Sleep(time.Millisecond); done++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("b%d", i), func(p *Proc) { p.Sleep(time.Millisecond); done++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 16 {
+		t.Fatalf("completed %d procs, want 16", done)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Fatalf("final time %v, want 2ms", e.Now())
+	}
+}
+
+// TestSetShardWorkersValidation pins the API edges: negative counts panic,
+// and changing the count after sharded structures exist panics.
+func TestSetShardWorkersValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative shard worker count accepted")
+			}
+		}()
+		NewEngine(1).SetShardWorkers(-1)
+	}()
+
+	e := NewEngine(1)
+	e.SetShardWorkers(2)
+	e.Spawn("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shard worker count change after Run accepted")
+		}
+	}()
+	e.SetShardWorkers(4)
+}

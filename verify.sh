@@ -49,6 +49,29 @@ cmp "$TRACETMP/m1.csv" "$TRACETMP/m8.csv"
 cmp "$TRACETMP/p1.prom" "$TRACETMP/p8.prom"
 cmp "$TRACETMP/mout1.txt" "$TRACETMP/mout8.txt"
 
+echo "== PDES determinism: -pdes-j 1 vs -pdes-j 8 (race, clean + faulted) =="
+# The sharded intra-run engine must be invisible in the output: report,
+# Chrome trace, metrics CSV, and Prometheus snapshot bytes are identical at
+# any shard count, for clean (fig5) and faulted (faultsweep) seeds alike
+# (DESIGN.md §3g).
+"$TRACETMP/experiments" -quick -q -pdes-j 1 -trace "$TRACETMP/pt1.json" -metrics "$TRACETMP/pm1.csv" -metrics-prom "$TRACETMP/pp1.prom" fig5 faultsweep > "$TRACETMP/pout1.txt"
+"$TRACETMP/experiments" -quick -q -pdes-j 8 -trace "$TRACETMP/pt8.json" -metrics "$TRACETMP/pm8.csv" -metrics-prom "$TRACETMP/pp8.prom" fig5 faultsweep > "$TRACETMP/pout8.txt"
+cmp "$TRACETMP/pout1.txt" "$TRACETMP/pout8.txt"
+cmp "$TRACETMP/pt1.json" "$TRACETMP/pt8.json"
+cmp "$TRACETMP/pm1.csv" "$TRACETMP/pm8.csv"
+cmp "$TRACETMP/pp1.prom" "$TRACETMP/pp8.prom"
+
+echo "== serial-mode invisibility: default vs -pdes-j 1 =="
+# ShardWorkers <= 1 must be the untouched serial engine: the default run
+# (no -pdes-j) and an explicit -pdes-j 1 produce identical bytes. (The PR
+# that introduced the sharded engine additionally checked this output
+# against the preserved pre-PR binary; that binary is not archived in-repo,
+# so the ongoing gate is default-vs-explicit plus the golden fixtures,
+# which pin the serial timeline against the pre-PR state.)
+"$TRACETMP/experiments" -quick -q fig5 faultsweep > "$TRACETMP/sout_default.txt"
+"$TRACETMP/experiments" -quick -q -pdes-j 1 fig5 faultsweep > "$TRACETMP/sout_serial.txt"
+cmp "$TRACETMP/sout_default.txt" "$TRACETMP/sout_serial.txt"
+
 echo "== zero-alloc gate: tracing/metrics-off allocation budget =="
 # The span-tracer and metrics hooks must be free when disabled: the delta
 # tests scale event/op counts ~100x and require zero extra allocations
