@@ -3,7 +3,7 @@
 #
 # Runs the kernel microbenchmarks plus the end-to-end figure benchmarks the
 # perf acceptance criteria track, and merges ns/op, B/op, and allocs/op
-# into BENCH_PR6.json under the given label (default: "current"). With a
+# into BENCH_PR7.json under the given label (default: "current"). With a
 # baseline label already present in the ledger, benchrec prints deltas.
 #
 # Usage:
@@ -14,14 +14,15 @@ set -eu
 cd "$(dirname "$0")"
 
 LABEL="${1:-current}"
-LEDGER="BENCH_PR6.json"
+LEDGER="BENCH_PR7.json"
 
 go build -o /tmp/benchrec ./cmd/benchrec
 
 {
 	go test -run=NONE -bench='BenchmarkSleepEvents|BenchmarkManyProcs|BenchmarkWakeBlock|BenchmarkHeapChurn10k|BenchmarkResourceContention|BenchmarkSharded' \
 		-benchtime=200000x ./internal/sim/
-	go test -run=NONE -bench='BenchmarkFig5$|BenchmarkFig6$' -benchtime=2x .
+	go test -run=NONE -bench='BenchmarkScaleEvents' -benchtime=100000x ./internal/sim/
+	go test -run=NONE -bench='BenchmarkFig5$|BenchmarkFig6$|BenchmarkWorkflowLargePairs$|BenchmarkRepeatPooled$' -benchtime=2x .
 } | tee /dev/stderr | /tmp/benchrec -label "$LABEL" -o "$LEDGER"
 
 echo "bench.sh: recorded under label \"$LABEL\" in $LEDGER"

@@ -90,3 +90,38 @@ func BenchmarkWorkflowLustre(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorkflowLargePairs measures a fleet-scale DYAD run: 1024
+// producer-consumer pairs (2048 processes, 256 compute nodes), enough
+// pending events to push the kernel's event queue past its ladder
+// threshold. This is the end-to-end view of the queue-scaling work: the
+// macro benchmark behind the micro-level BenchmarkScaleEvents ladder.
+func BenchmarkWorkflowLargePairs(b *testing.B) {
+	b.ReportAllocs()
+	jac, err := ModelByName("JAC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Backend: DYAD, Model: jac, Pairs: 1024, Frames: 2, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeatPooled measures RunMany over 8 repetitions on one worker —
+// the pooled-reuse hot path: after the first repetition, engine, cluster,
+// and event-queue state recycle across reps instead of being rebuilt.
+func BenchmarkRepeatPooled(b *testing.B) {
+	b.ReportAllocs()
+	jac, err := ModelByName("JAC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Backend: DYAD, Model: jac, Pairs: 8, Frames: 16, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := RepeatWorkers(cfg, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

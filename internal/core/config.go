@@ -33,7 +33,9 @@ import (
 
 	"repro/internal/dyad"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/trace"
 )
 
 // Backend selects the data management solution under test.
@@ -162,6 +164,29 @@ type Config struct {
 	// independent of the worker count. Zero (the default) costs one nil
 	// check per event and per instrumented operation.
 	MetricsInterval time.Duration
+	// TraceStream, when non-nil, streams the run's spans straight into a
+	// shared Chrome trace writer instead of retaining them: each span is
+	// serialized the moment it is emitted, Result.Spans stays nil, and
+	// Result.SpanStats comes from an incremental fold — recorder memory is
+	// O(live procs + operation kinds) regardless of run length. The bytes
+	// written are identical to buffered RecordSpans export of the same run
+	// (WriteChrome is a loop over the same stream). Mutually exclusive with
+	// RecordSpans. The stream is not safe for concurrent runs: at most one
+	// run per RunMany batch may set it (the experiments layer streams only
+	// the first repetition, matching buffered tracing).
+	TraceStream *trace.ChromeStream
+	// MetricsSink, when non-nil, streams each metrics sample as one CSV row
+	// the moment the sampler fires instead of buffering sample vectors:
+	// Result.Metrics stays nil and registry memory is O(series count)
+	// regardless of run length, with bytes identical to buffered WriteCSV.
+	// Requires MetricsInterval > 0. Like TraceStream, at most one run per
+	// batch may set it. Because the samples are not retained, streaming
+	// runs cannot feed the Prometheus/dashboard exporters.
+	MetricsSink *metrics.CSVSink
+	// MetricsRunLabel overrides the CSV run header label for MetricsSink
+	// (the experiments layer scopes it as "<figure> <config>"). Empty means
+	// Label().
+	MetricsRunLabel string
 }
 
 // EffectiveStride returns the configured stride, or the model's default.
@@ -235,6 +260,12 @@ func (c Config) Validate() error {
 	}
 	if c.ShardWorkers < 0 {
 		return fmt.Errorf("core: ShardWorkers %d < 0", c.ShardWorkers)
+	}
+	if c.TraceStream != nil && c.RecordSpans {
+		return fmt.Errorf("core: TraceStream and RecordSpans are mutually exclusive (streamed spans are not retained)")
+	}
+	if c.MetricsSink != nil && c.MetricsInterval <= 0 {
+		return fmt.Errorf("core: MetricsSink requires MetricsInterval > 0")
 	}
 	return nil
 }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// resultScalars compares the measurement-bearing fields of two results.
+func resultScalars(t *testing.T, what string, got, want *Result) {
+	t.Helper()
+	if got.Producer != want.Producer || got.Consumer != want.Consumer ||
+		got.Makespan != want.Makespan || got.FramesRead != want.FramesRead ||
+		got.BytesRead != want.BytesRead || got.Recovery != want.Recovery {
+		t.Errorf("%s: pooled result diverged:\n got  %+v %+v %v\n want %+v %+v %v",
+			what, got.Producer, got.Consumer, got.Makespan,
+			want.Producer, want.Consumer, want.Makespan)
+	}
+}
+
+// Pooled reuse must actually reuse (same engine and cluster pointers come
+// back from the pool) and must be observationally invisible: every
+// measurement of a pooled repetition equals the same config run fresh.
+func TestPooledReuseIsInvisible(t *testing.T) {
+	for _, backend := range []Backend{DYAD, XFS, Lustre} {
+		cfg := Config{Backend: backend, Model: tinyModel(), Frames: 6, Pairs: 2,
+			SingleNode: backend != Lustre, Seed: 7}
+		if backend == Lustre {
+			cfg.LustreNoise = true
+		}
+		pool := &runPool{}
+		first, err := runPooled(cfg, pool)
+		if err != nil {
+			t.Fatalf("%s: first pooled run: %v", backend, err)
+		}
+		if pool.eng == nil || pool.cl == nil {
+			t.Fatalf("%s: pool empty after successful run", backend)
+		}
+		eng, cl := pool.eng, pool.cl
+
+		cfg2 := cfg
+		cfg2.Seed = cfg.Seed + 0x9e3779b9
+		second, err := runPooled(cfg2, pool)
+		if err != nil {
+			t.Fatalf("%s: second pooled run: %v", backend, err)
+		}
+		if pool.eng != eng {
+			t.Errorf("%s: engine not reused (pool holds a different engine)", backend)
+		}
+		if pool.cl != cl {
+			t.Errorf("%s: cluster not reused (pool holds a different cluster)", backend)
+		}
+
+		// The same configs run fresh (nil pool) must measure identically.
+		fresh1, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", backend, err)
+		}
+		fresh2, err := Run(cfg2)
+		if err != nil {
+			t.Fatalf("%s: fresh run 2: %v", backend, err)
+		}
+		resultScalars(t, backend.String()+" rep1", first, fresh1)
+		resultScalars(t, backend.String()+" rep2", second, fresh2)
+	}
+}
+
+// A spec change mid-batch (different node count) must fall back to a fresh
+// cluster without disturbing results, and a shard-shape change must fall
+// back to a fresh engine.
+func TestPoolShapeMismatchFallsBack(t *testing.T) {
+	pool := &runPool{}
+	single := Config{Backend: DYAD, Model: tinyModel(), Frames: 4, Pairs: 2, SingleNode: true, Seed: 3}
+	multi := Config{Backend: DYAD, Model: tinyModel(), Frames: 4, Pairs: 2, Seed: 3}
+	if _, err := runPooled(single, pool); err != nil {
+		t.Fatal(err)
+	}
+	eng := pool.eng
+	got, err := runPooled(multi, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.eng != eng {
+		t.Error("engine should survive a cluster-spec change")
+	}
+	want, err := Run(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultScalars(t, "spec change", got, want)
+
+	sharded := multi
+	sharded.ShardWorkers = 4
+	got, err = runPooled(sharded, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.eng == eng {
+		t.Error("serial engine must not be reused for a sharded run")
+	}
+	want, err = Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultScalars(t, "shard change", got, want)
+}
+
+// The pooling payoff (DESIGN.md §3h): after the first repetition warms the
+// pool, wiring the next repetition's rig allocates O(1) — the engine (event
+// queue, proc table, RNG streams), the cluster (nodes, device resources,
+// queue arrays), and, for streaming runs, the metrics registry all come
+// back from the pool instead of being rebuilt. Measured on the rig
+// construction path itself so the bound is independent of how much the
+// workflow body allocates.
+func TestPooledRigConstructionAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation budget checked without -race")
+	}
+	var buf bytes.Buffer
+	sink := metrics.NewCSVSink(&buf)
+	for _, tc := range []struct {
+		name    string
+		metered bool
+		maxFrac float64
+	}{
+		{"plain", false, 0.6},
+		{"metered", true, 0.7}, // series/histogram handles are recycled; probe closures re-allocate
+	} {
+		cfg := Config{Backend: DYAD, Model: tinyModel(), Frames: 2, Pairs: 16, Seed: 11}
+		if tc.metered {
+			cfg.MetricsInterval = 2 * time.Millisecond
+			cfg.MetricsSink = sink
+		}
+		fresh := testing.AllocsPerRun(10, func() { _ = newRig(cfg, nil) })
+		pool := &runPool{}
+		if _, err := runPooled(cfg, pool); err != nil {
+			t.Fatal(err)
+		}
+		pooled := testing.AllocsPerRun(10, func() {
+			r := newRig(cfg, pool)
+			r.eng.Reset(cfg.Seed) // drop the wiring so retire hands back a clean engine
+			pool.retire(r)
+		})
+		if pooled >= fresh*tc.maxFrac {
+			t.Errorf("%s: pooled rig wiring allocates %.0f objects, want < %.0f%% of fresh %.0f",
+				tc.name, pooled, 100*tc.maxFrac, fresh)
+		}
+	}
+}
+
+// Streaming a run's spans into a ChromeStream must produce byte-for-byte
+// the document that buffered recording plus WriteChrome produces.
+func TestTraceStreamMatchesBuffered(t *testing.T) {
+	cfg := Config{Backend: DYAD, Model: tinyModel(), Frames: 5, Pairs: 2, SingleNode: true, Seed: 21}
+
+	buffered := cfg
+	buffered.RecordSpans = true
+	res, err := Run(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteChrome(&want, []trace.Run{{Label: cfg.Label(), Spans: res.Spans}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	stream := trace.NewChromeStream(&got)
+	streamed := cfg
+	streamed.TraceStream = stream
+	sres, err := Run(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed Chrome trace diverged from buffered export (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if sres.Spans != nil {
+		t.Errorf("streaming run retained %d spans, want none", len(sres.Spans))
+	}
+	// The incremental statistics must equal the buffered aggregation.
+	if len(sres.SpanStats) != len(res.SpanStats) {
+		t.Fatalf("streaming SpanStats has %d ops, buffered %d", len(sres.SpanStats), len(res.SpanStats))
+	}
+	for i := range sres.SpanStats {
+		if sres.SpanStats[i] != res.SpanStats[i] {
+			t.Errorf("SpanStats[%d] diverged: %+v vs %+v", i, sres.SpanStats[i], res.SpanStats[i])
+		}
+	}
+	resultScalars(t, "trace stream", sres, res)
+}
+
+// Streaming sampled metrics into a CSVSink — across a pooled batch, so the
+// registry itself is recycled between repetitions — must produce byte-for-
+// byte the CSV that buffered sampling plus WriteCSV produces.
+func TestMetricsSinkMatchesBuffered(t *testing.T) {
+	base := Config{Backend: DYAD, Model: tinyModel(), Frames: 5, Pairs: 2, SingleNode: true, Seed: 33}
+	const reps = 3
+	interval := 2 * time.Millisecond
+
+	// Buffered reference: each rep retains its registry.
+	cfgs := RepeatConfigs(base, reps)
+	for i := range cfgs {
+		cfgs[i].MetricsInterval = interval
+	}
+	results, err := RunMany(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []metrics.Run
+	for _, res := range results {
+		if res.Metrics == nil || res.Metrics.Len() == 0 {
+			t.Fatal("buffered rep missing metrics")
+		}
+		runs = append(runs, metrics.Run{Label: base.Label(), Reg: res.Metrics})
+	}
+	var want bytes.Buffer
+	if err := metrics.WriteCSV(&want, runs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streamed: all reps share one sink on one serial worker, so the second
+	// and third rep run on a pool-recycled registry.
+	var got bytes.Buffer
+	sink := metrics.NewCSVSink(&got)
+	cfgs = RepeatConfigs(base, reps)
+	for i := range cfgs {
+		cfgs[i].MetricsInterval = interval
+		cfgs[i].MetricsSink = sink
+	}
+	sresults, err := RunMany(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed metrics CSV diverged from buffered export:\n got:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+	for i, res := range sresults {
+		if res.Metrics != nil {
+			t.Errorf("streaming rep %d retained its registry", i)
+		}
+		resultScalars(t, "metrics sink", res, results[i])
+	}
+}
+
+// A failed run must retire nothing: the pool stays empty (or keeps its
+// previous clean state) so the next run cannot inherit half-mutated state.
+func TestFailedRunRetiresNothing(t *testing.T) {
+	pool := &runPool{}
+	bad := Config{Backend: DYAD, Model: tinyModel(), Frames: 1000, Pairs: 1, SingleNode: true,
+		Seed: 5, MaxEvents: 50} // watchdog kills the run almost immediately
+	if _, err := runPooled(bad, pool); err == nil {
+		t.Fatal("watchdog-limited run unexpectedly succeeded")
+	}
+	if pool.eng != nil || pool.cl != nil || pool.reg != nil {
+		t.Error("failed run leaked state into the pool")
+	}
+}

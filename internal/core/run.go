@@ -24,15 +24,7 @@ const lustreServers = 9
 
 // Run executes one workflow run and returns its measurements.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	r := newRig(cfg)
-	r.spawnAll()
-	if err := r.eng.Run(); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", cfg.Label(), err)
-	}
-	return r.collect()
+	return runPooled(cfg, nil)
 }
 
 // rig wires one run: engine, cluster, backend, processes, measurements.
@@ -83,22 +75,18 @@ type cfgResolved struct {
 	frameSize int64
 }
 
-func newRig(cfg Config) *rig {
+// newRig wires one run, drawing recyclable state (engine, cluster, metrics
+// registry) from pool when compatible state is available — nil pool or no
+// match builds everything fresh. Reuse is observationally invisible: the
+// Reset contracts restore exact just-built state, so a pooled run is
+// byte-identical to an unpooled one.
+func newRig(cfg Config, pool *runPool) *rig {
 	rc := cfgResolved{
 		Config:    cfg,
 		stride:    cfg.EffectiveStride(),
 		frequency: cfg.Frequency(),
 		frameSize: cfg.Model.FrameBytes(),
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	// Pre-size the kernel for the run's known process population (one
-	// producer + one consumer per pair, plus Lustre noise processes) and a
-	// comfortable event-queue floor, so steady state never grows a slice.
-	procs := 2 * cfg.Pairs
-	if cfg.Backend == Lustre && cfg.LustreNoise {
-		procs += lustreServers - 1 // one noise process per OST
-	}
-	eng.Prealloc(procs, procs+8)
 	nodes := cfg.ComputeNodes()
 	if cfg.Backend == Lustre || cfg.LustreFallback {
 		nodes += lustreServers
@@ -107,8 +95,24 @@ func newRig(cfg Config) *rig {
 	// Worst-case queue depth per device: every process on a node blocked on
 	// the same resource.
 	spec.QueueHint = 2 * MaxProcsPerNode
-	cl := cluster.New(eng, spec)
-	r := &rig{cfg: rc, eng: eng, cl: cl}
+	eng, cl, reg := pool.take(cfg, spec)
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
+	// Pre-size the kernel for the run's known process population (one
+	// producer + one consumer per pair, plus Lustre noise processes) and a
+	// comfortable event-queue floor, so steady state never grows a slice.
+	// Idempotent on a reused engine (its arrays are already at least this
+	// large).
+	procs := 2 * cfg.Pairs
+	if cfg.Backend == Lustre && cfg.LustreNoise {
+		procs += lustreServers - 1 // one noise process per OST
+	}
+	eng.Prealloc(procs, procs+8)
+	if cl == nil {
+		cl = cluster.New(eng, spec)
+	}
+	r := &rig{cfg: rc, eng: eng, cl: cl, reg: reg}
 
 	if cfg.ShardWorkers > 1 {
 		// Sharded intra-run engine (DESIGN.md §3g): processes are grouped by
@@ -141,6 +145,12 @@ func newRig(cfg Config) *rig {
 	}
 	if cfg.RecordSpans {
 		r.rec = trace.NewRecorder()
+		eng.SetRecorder(r.rec)
+	} else if cfg.TraceStream != nil {
+		// Streaming tracer: spans serialize on emission into the shared
+		// Chrome stream; the recorder holds only proc tids and incremental
+		// per-operation statistics.
+		r.rec = cfg.TraceStream.StartRun(rc.Label())
 		eng.SetRecorder(r.rec)
 	}
 
@@ -180,8 +190,23 @@ func newRig(cfg Config) *rig {
 	}
 
 	if cfg.MetricsInterval > 0 {
-		r.reg = metrics.New(cfg.MetricsInterval)
+		if r.reg != nil {
+			// Pooled registry (streaming runs only): retire the old series
+			// into its free pools and rebuild, reusing sample storage.
+			r.reg.Reset(cfg.MetricsInterval)
+		} else {
+			r.reg = metrics.New(cfg.MetricsInterval)
+		}
 		r.registerMetrics()
+		if cfg.MetricsSink != nil {
+			// Streaming sink: every series is registered by now, so the run's
+			// CSV header is complete; subsequent samples write one row each.
+			label := cfg.MetricsRunLabel
+			if label == "" {
+				label = rc.Label()
+			}
+			cfg.MetricsSink.StartRun(label, r.reg)
+		}
 		reg := r.reg
 		eng.SetSampler(cfg.MetricsInterval, func(t sim.Time) { reg.Sample(t) })
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Options tune experiment execution.
@@ -48,6 +49,20 @@ type Options struct {
 	// and Prometheus export plus per-experiment utilization dashboards.
 	// Sampling is observation-only, like tracing.
 	Metrics *MetricsCollector
+	// TraceStream, when non-nil, traces one repetition of each configuration
+	// like Trace but serializes spans into the shared Chrome stream as they
+	// are emitted instead of retaining them — bounded-memory tracing for
+	// large-N sweeps, with bytes identical to buffered collection followed
+	// by trace.WriteChrome. Mutually exclusive with Trace (breakdown
+	// reports need retained spans and are skipped when streaming).
+	TraceStream *trace.ChromeStream
+	// MetricsStream, when non-nil, meters one repetition of each
+	// configuration like Metrics but streams samples into a CSV sink as
+	// they are taken — bounded-memory metering, bytes identical to buffered
+	// collection followed by metrics.WriteCSV. Mutually exclusive with
+	// Metrics (the dashboard and Prometheus exporters need retained
+	// samples and are unavailable when streaming).
+	MetricsStream *MetricsStream
 }
 
 // Defaults fills unset options with paper-faithful values.
@@ -208,12 +223,22 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 		// configuration keeps trace volume linear in the sweep, and the
 		// schedule keeps every rep's seed identical to the untraced run.
 		cfgs[0].RecordSpans = true
+	} else if o.TraceStream != nil {
+		// Streaming variant of the same policy. Only the first repetition
+		// writes to the stream and configuration batches run sequentially,
+		// so the shared stream has one writer at a time and its run order
+		// matches buffered collection order.
+		cfgs[0].TraceStream = o.TraceStream
 	}
 	if o.Metrics != nil {
 		// Sample the first repetition only, mirroring the trace policy; a
 		// rep that is both traced and sampled gets its counter tracks merged
 		// into the Chrome trace.
 		cfgs[0].MetricsInterval = o.Metrics.SampleInterval()
+	} else if o.MetricsStream != nil {
+		cfgs[0].MetricsInterval = o.MetricsStream.SampleInterval()
+		cfgs[0].MetricsSink = o.MetricsStream.Sink
+		cfgs[0].MetricsRunLabel = o.MetricsStream.runLabel(cfg.Label())
 	}
 	results, err := core.RunMany(cfgs, o.Workers)
 	if err != nil {

@@ -89,6 +89,12 @@ type Series struct {
 	prevDen float64
 	totNum  float64 // KindRatio: cumulative numerator/denominator deltas
 	totDen  float64
+	// Vector-free snapshot state, maintained at every boundary so the
+	// Prometheus snapshot never needs the Samples vector — what keeps
+	// WriteProm exact for sink-streamed runs that retain no samples.
+	last    float64 // most recent sampled value (gauge snapshot)
+	utilSum float64 // KindUtil: running sum of sampled fractions
+	n       int64   // boundaries sampled
 }
 
 // OnDashboard marks the series for the dashboard and Chrome counter
@@ -157,6 +163,16 @@ type Registry struct {
 	times    []time.Duration
 	series   []*Series
 	hists    []*Histogram
+
+	// sink, when bound by CSVSink.StartRun, streams one CSV row per sample
+	// boundary instead of growing the per-series Samples vectors.
+	sink *CSVSink
+
+	// spool/hpool hold the structs retired by Reset, handed back out in
+	// registration order so a pooled run's re-registration wave reuses them
+	// (Samples capacity included) instead of allocating.
+	spool []*Series
+	hpool []*Histogram
 }
 
 // New creates a registry sampling at the given fixed virtual interval.
@@ -175,9 +191,40 @@ func (r *Registry) Interval() time.Duration {
 	return r.interval
 }
 
-func (r *Registry) add(s *Series) *Series {
-	r.series = append(r.series, s)
-	return s
+// Reset returns the registry to its just-created state under a (possibly
+// new) interval, retiring every registered series and histogram into the
+// reuse pools: the next registration wave — the same deterministic wiring
+// code — gets the retired structs back in order, Samples capacity intact,
+// so pooled runs (core's RunMany rig pool, DESIGN.md §3h) re-register
+// without reallocating. Only registries the caller owns exclusively may be
+// reset; a registry retained by a run's Result must never be pooled.
+func (r *Registry) Reset(interval time.Duration) {
+	if interval <= 0 {
+		panic("metrics: nonpositive sample interval")
+	}
+	r.interval = interval
+	r.times = r.times[:0]
+	r.sink = nil
+	r.spool = append(r.spool[:0], r.series...)
+	r.series = r.series[:0]
+	r.hpool = append(r.hpool[:0], r.hists...)
+	r.hists = r.hists[:0]
+}
+
+// add registers s, reusing a pool-retired struct when one is available at
+// this registration position.
+func (r *Registry) add(s Series) *Series {
+	if n := len(r.series); n < len(r.spool) {
+		p := r.spool[n]
+		s.Samples = p.Samples[:0]
+		*p = s
+		r.series = append(r.series, p)
+		return p
+	}
+	p := new(Series)
+	*p = s
+	r.series = append(r.series, p)
+	return p
 }
 
 // Gauge registers an instantaneous-value series.
@@ -185,7 +232,7 @@ func (r *Registry) Gauge(name string, probe func() float64) *Series {
 	if r == nil {
 		return nil
 	}
-	return r.add(&Series{Name: name, Kind: KindGauge, probe: probe})
+	return r.add(Series{Name: name, Kind: KindGauge, probe: probe})
 }
 
 // Counter registers a cumulative-total series.
@@ -193,7 +240,7 @@ func (r *Registry) Counter(name string, probe func() float64) *Series {
 	if r == nil {
 		return nil
 	}
-	return r.add(&Series{Name: name, Kind: KindCounter, probe: probe})
+	return r.add(Series{Name: name, Kind: KindCounter, probe: probe})
 }
 
 // Rate registers a series sampling the per-second increase of the
@@ -202,7 +249,7 @@ func (r *Registry) Rate(name string, probe func() float64) *Series {
 	if r == nil {
 		return nil
 	}
-	return r.add(&Series{Name: name, Kind: KindRate, probe: probe})
+	return r.add(Series{Name: name, Kind: KindRate, probe: probe})
 }
 
 // Util registers a utilization series over a capacity: probe returns the
@@ -216,7 +263,7 @@ func (r *Registry) Util(name string, capacity int, probe func() float64) *Series
 	if capacity < 1 {
 		capacity = 1
 	}
-	return r.add(&Series{Name: name, Kind: KindUtil, probe: probe, unitCap: float64(capacity)})
+	return r.add(Series{Name: name, Kind: KindUtil, probe: probe, unitCap: float64(capacity)})
 }
 
 // Ratio registers a windowed ratio series: delta(num)/delta(den) per
@@ -225,7 +272,7 @@ func (r *Registry) Ratio(name string, num, den func() float64) *Series {
 	if r == nil {
 		return nil
 	}
-	return r.add(&Series{Name: name, Kind: KindRatio, probe: num, den: den})
+	return r.add(Series{Name: name, Kind: KindRatio, probe: num, den: den})
 }
 
 // Histogram registers a named duration histogram and returns its handle
@@ -235,7 +282,13 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	h := &Histogram{Name: name}
+	var h *Histogram
+	if n := len(r.hists); n < len(r.hpool) {
+		h = r.hpool[n]
+		*h = Histogram{Name: name}
+	} else {
+		h = &Histogram{Name: name}
+	}
 	r.hists = append(r.hists, h)
 	return h
 }
@@ -243,42 +296,66 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Sample records one value per registered series at virtual time t. The
 // engine sampler calls it at every interval boundary; probes must only
 // read state (no event scheduling, no RNG draws), which keeps sampling
-// observation-only.
+// observation-only. A sink-bound registry (CSVSink.StartRun) writes the
+// boundary as one CSV row instead of growing the Samples vectors, so
+// registry memory stays O(series count) on runs of any length.
 func (r *Registry) Sample(t time.Duration) {
 	if r == nil {
 		return
 	}
-	r.times = append(r.times, t)
 	sec := r.interval.Seconds()
-	for _, s := range r.series {
-		var v float64
-		switch s.Kind {
-		case KindGauge:
-			v = s.probe()
-		case KindCounter:
-			cur := s.probe()
-			s.prev = cur
-			v = cur
-		case KindRate:
-			cur := s.probe()
-			v = (cur - s.prev) / sec
-			s.prev = cur
-		case KindUtil:
-			cur := s.probe()
-			v = (cur - s.prev) / (s.unitCap * float64(r.interval))
-			s.prev = cur
-		case KindRatio:
-			n, d := s.probe(), s.den()
-			dn, dd := n-s.prev, d-s.prevDen
-			s.prev, s.prevDen = n, d
-			s.totNum += dn
-			s.totDen += dd
-			if dd != 0 {
-				v = dn / dd
-			}
+	if r.sink != nil {
+		bw := r.sink.bw
+		bw.WriteString(fmtF(t.Seconds()))
+		for _, s := range r.series {
+			bw.WriteByte(',')
+			bw.WriteString(fmtF(s.sample(r.interval, sec)))
 		}
-		s.Samples = append(s.Samples, v)
+		bw.WriteByte('\n')
+		return
 	}
+	r.times = append(r.times, t)
+	for _, s := range r.series {
+		s.Samples = append(s.Samples, s.sample(r.interval, sec))
+	}
+}
+
+// sample computes the series' value at one boundary and advances its
+// cursors and vector-free snapshot state — shared by the buffered and
+// sink-streamed paths so both produce identical values and snapshots.
+func (s *Series) sample(interval time.Duration, sec float64) float64 {
+	var v float64
+	switch s.Kind {
+	case KindGauge:
+		v = s.probe()
+	case KindCounter:
+		cur := s.probe()
+		s.prev = cur
+		v = cur
+	case KindRate:
+		cur := s.probe()
+		v = (cur - s.prev) / sec
+		s.prev = cur
+	case KindUtil:
+		cur := s.probe()
+		v = (cur - s.prev) / (s.unitCap * float64(interval))
+		s.prev = cur
+	case KindRatio:
+		n, d := s.probe(), s.den()
+		dn, dd := n-s.prev, d-s.prevDen
+		s.prev, s.prevDen = n, d
+		s.totNum += dn
+		s.totDen += dd
+		if dd != 0 {
+			v = dn / dd
+		}
+	}
+	s.last = v
+	if s.Kind == KindUtil {
+		s.utilSum += v
+	}
+	s.n++
+	return v
 }
 
 // Len returns the number of samples taken (0 on a nil registry).
@@ -327,6 +404,21 @@ type Run struct {
 // byte-identity check relies on.
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// writeCSVRunHeader writes one run's "# label" comment and header row —
+// shared by WriteCSV and CSVSink so buffered and streamed exports of the
+// same runs are byte-identical by construction.
+func writeCSVRunHeader(bw *bufio.Writer, label string, series []*Series) {
+	bw.WriteString("# ")
+	bw.WriteString(csvComment(label))
+	bw.WriteByte('\n')
+	bw.WriteString("time_s")
+	for _, s := range series {
+		bw.WriteByte(',')
+		bw.WriteString(s.Name)
+	}
+	bw.WriteByte('\n')
+}
+
 // WriteCSV writes the sampled time series of every run: per run, a "# label"
 // comment line, a header (time_s then series names in registration order),
 // and one row per elapsed sample interval. Runs are separated by one blank
@@ -338,15 +430,7 @@ func WriteCSV(w io.Writer, runs []Run) error {
 		if ri > 0 {
 			bw.WriteByte('\n')
 		}
-		bw.WriteString("# ")
-		bw.WriteString(csvComment(run.Label))
-		bw.WriteByte('\n')
-		bw.WriteString("time_s")
-		for _, s := range run.Reg.Series() {
-			bw.WriteByte(',')
-			bw.WriteString(s.Name)
-		}
-		bw.WriteByte('\n')
+		writeCSVRunHeader(bw, run.Label, run.Reg.Series())
 		for i, t := range run.Reg.Times() {
 			bw.WriteString(fmtF(t.Seconds()))
 			for _, s := range run.Reg.Series() {
@@ -359,23 +443,56 @@ func WriteCSV(w io.Writer, runs []Run) error {
 	return bw.Flush()
 }
 
+// CSVSink streams sampled metrics as they are taken: StartRun binds a
+// run's registry to the sink, and every subsequent sample boundary writes
+// one CSV row through the sink's buffer instead of growing the registry's
+// sample vectors. The byte stream is identical to WriteCSV over the same
+// runs (shared header and row formatting), while memory stays O(series
+// count + one I/O buffer) on runs of any length. A sink serializes one run
+// at a time: concurrently executing sampled runs must not share it.
+type CSVSink struct {
+	bw   *bufio.Writer
+	runs int
+}
+
+// NewCSVSink returns a sink streaming CSV rows to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{bw: bufio.NewWriter(w)}
+}
+
+// StartRun opens the next run on the sink: it writes the run separator,
+// the "# label" comment, and the header row — so every series must already
+// be registered — and redirects the registry's subsequent Sample calls
+// into the sink.
+func (k *CSVSink) StartRun(label string, reg *Registry) {
+	if k.runs > 0 {
+		k.bw.WriteByte('\n')
+	}
+	k.runs++
+	writeCSVRunHeader(k.bw, label, reg.Series())
+	reg.sink = k
+}
+
+// Flush forces buffered rows to the underlying writer. Call it before
+// closing the file the sink streams into.
+func (k *CSVSink) Flush() error { return k.bw.Flush() }
+
 // snapshot reduces a series' sampled window to one end-of-run value and
 // its Prometheus type. Counters and rates export the cumulative total at
 // the last boundary; gauges the last sample; utilizations the mean busy
-// fraction; ratios the delta-weighted whole-run ratio. Pure: it reads
-// sampled state only and never calls probes, so exporting is safe at any
-// point after the run and idempotent.
+// fraction; ratios the delta-weighted whole-run ratio. Pure: it reads the
+// vector-free snapshot state only (maintained identically by the buffered
+// and sink-streamed paths) and never calls probes, so exporting is safe at
+// any point after the run, idempotent, and exact for streamed runs that
+// retain no sample vectors.
 func (s *Series) snapshot() (promType string, v float64) {
 	switch s.Kind {
 	case KindCounter, KindRate:
 		return "counter", s.prev
 	case KindUtil:
-		var sum float64
-		for _, x := range s.Samples {
-			sum += x
-		}
-		if len(s.Samples) > 0 {
-			sum /= float64(len(s.Samples))
+		sum := s.utilSum
+		if s.n > 0 {
+			sum /= float64(s.n)
 		}
 		return "gauge", sum
 	case KindRatio:
@@ -384,10 +501,7 @@ func (s *Series) snapshot() (promType string, v float64) {
 		}
 		return "gauge", s.totNum / s.totDen
 	default:
-		if n := len(s.Samples); n > 0 {
-			v = s.Samples[n-1]
-		}
-		return "gauge", v
+		return "gauge", s.last
 	}
 }
 

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// registerSinkSeries wires one series of every kind plus a histogram onto
+// r, driven by the shared cumulative state.
+func registerSinkSeries(r *Registry, total, busy, inFlight *float64) *Histogram {
+	r.Gauge("gauge", func() float64 { return *inFlight })
+	r.Counter("counter", func() float64 { return *total })
+	r.Rate("rate", func() float64 { return *total }).OnDashboard()
+	r.Util("util", 2, func() float64 { return *busy })
+	r.Ratio("ratio", func() float64 { return *busy }, func() float64 { return *total })
+	return r.Histogram("lat")
+}
+
+// drive samples n boundaries with evolving state.
+func drive(r *Registry, h *Histogram, total, busy, inFlight *float64, n int) {
+	for i := 1; i <= n; i++ {
+		*total += float64(i) * 3
+		*busy += float64(i) * 0.4e9
+		*inFlight = float64(i % 4)
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+		r.Sample(time.Duration(i) * time.Second)
+	}
+}
+
+// A sink-attached registry must write byte-for-byte the CSV that buffered
+// sampling plus WriteCSV produces for the same probe history — across
+// multiple runs on one sink, including a Registry.Reset recycle in between.
+func TestCSVSinkMatchesWriteCSV(t *testing.T) {
+	const boundaries = 5
+
+	// Buffered reference: two runs, fresh registries.
+	var runs []Run
+	for run := 0; run < 2; run++ {
+		r := New(time.Second)
+		var total, busy, inFlight float64
+		h := registerSinkSeries(r, &total, &busy, &inFlight)
+		drive(r, h, &total, &busy, &inFlight, boundaries)
+		runs = append(runs, Run{Label: "sinkrun", Reg: r})
+	}
+	var want bytes.Buffer
+	if err := WriteCSV(&want, runs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streamed: one registry recycled through Reset between the two runs.
+	var got bytes.Buffer
+	sink := NewCSVSink(&got)
+	r := New(time.Second)
+	for run := 0; run < 2; run++ {
+		if run > 0 {
+			r.Reset(time.Second)
+		}
+		var total, busy, inFlight float64
+		h := registerSinkSeries(r, &total, &busy, &inFlight)
+		sink.StartRun("sinkrun", r)
+		drive(r, h, &total, &busy, &inFlight, boundaries)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("sink CSV diverged from WriteCSV:\n got:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+	// A sink-attached registry retains no sample vectors.
+	if r.Len() != 0 {
+		t.Errorf("sink-attached registry buffered %d sample rows", r.Len())
+	}
+	for _, s := range r.Series() {
+		if len(s.Samples) != 0 {
+			t.Errorf("series %q buffered %d samples in sink mode", s.Name, len(s.Samples))
+		}
+	}
+}
+
+// Reset must recycle series and histogram storage: re-registering the same
+// layout after a Reset hands back the same handles (by registration order)
+// with their sample capacity intact, and the rebuilt registry samples
+// exactly like a fresh one.
+func TestRegistryResetRecyclesSeries(t *testing.T) {
+	r := New(time.Second)
+	var total, busy, inFlight float64
+	h1 := registerSinkSeries(r, &total, &busy, &inFlight)
+	first := append([]*Series(nil), r.Series()...)
+	drive(r, h1, &total, &busy, &inFlight, 3)
+
+	r.Reset(2 * time.Second)
+	if r.Interval() != 2*time.Second {
+		t.Errorf("Reset interval = %v, want 2s", r.Interval())
+	}
+	if r.Len() != 0 || len(r.Series()) != 0 || len(r.Histograms()) != 0 {
+		t.Error("Reset left series or samples behind")
+	}
+	h2 := registerSinkSeries(r, &total, &busy, &inFlight)
+	second := r.Series()
+	if len(second) != len(first) {
+		t.Fatalf("re-registration built %d series, want %d", len(second), len(first))
+	}
+	for i := range second {
+		if second[i] != first[i] {
+			t.Errorf("series %d not recycled (got %p, want %p)", i, second[i], first[i])
+		}
+		if len(second[i].Samples) != 0 {
+			t.Errorf("recycled series %q kept %d samples", second[i].Name, len(second[i].Samples))
+		}
+	}
+	if h2 != h1 {
+		t.Errorf("histogram not recycled")
+	}
+	if h2.Count != 0 {
+		t.Errorf("recycled histogram kept %d observations", h2.Count)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -123,26 +124,108 @@ func BenchmarkWakeBlock(b *testing.B) {
 
 // BenchmarkHeapChurn10k measures push/pop throughput with 10k+ events
 // resident in the queue: every proc keeps one pending timer, so each Sleep
-// sifts through a deep heap. This is the paper-scale regime (thousands of
-// concurrent producer/consumer/server processes).
+// churns a deep pending set (ladder mode at this depth). This is the
+// paper-scale regime (thousands of concurrent producer/consumer/server
+// processes). A warm run grows every queue structure and runtime pool to
+// its high-water mark before the timer, and the timed region asserts the
+// steady-state zero-allocation contract: 0 B/op.
 func BenchmarkHeapChurn10k(b *testing.B) {
 	b.ReportAllocs()
 	e := NewEngine(1)
 	const procs = 10_000
-	steps := b.N/procs + 1
-	e.Prealloc(procs, procs+1)
-	for i := 0; i < procs; i++ {
-		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
-			for s := 0; s < steps; s++ {
-				// Spread wakeups so the heap stays full and ordering work
-				// is non-trivial (random keys, not FIFO).
-				p.Sleep(time.Duration(1+p.Rand().Intn(1000)) * time.Microsecond)
-			}
-		})
+	spawn := func(steps int) {
+		for i := 0; i < procs; i++ {
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for s := 0; s < steps; s++ {
+					// Spread wakeups so the queue stays full and ordering
+					// work is non-trivial (random keys, not FIFO).
+					p.Sleep(time.Duration(1+p.Rand().Intn(1000)) * time.Microsecond)
+				}
+			})
+		}
 	}
+	steps := b.N/procs + 1
+	// Warm run: the identical workload (same seed, same length), so every
+	// queue structure and runtime pool reaches the exact high-water mark of
+	// the measured run, which then allocates nothing.
+	e.Prealloc(procs, procs+1)
+	spawn(steps)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Reset(1)
+	e.Prealloc(procs, procs+1)
+	spawn(steps)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	events := float64(procs) * float64(steps)
+	if avg := float64(m1.TotalAlloc-m0.TotalAlloc) / events; avg >= 1 {
+		b.Fatalf("steady-state churn allocated %.2f B/op, want 0", avg)
+	}
+}
+
+// BenchmarkScaleEvents is the macro queue ladder: steady-state hold-model
+// churn (pop the earliest event, push its successor a random hold later) at
+// 1k, 100k, and 1M resident events, for the 4-ary heap, the ladder queue,
+// and the adaptive default. The heap-vs-ladder spread at each depth is what
+// fixed ladderThreshold (DESIGN.md §3h); BENCH_PR7.json records the ledger.
+func BenchmarkScaleEvents(b *testing.B) {
+	depths := []struct {
+		name    string
+		pending int
+	}{
+		{"1k", 1_000},
+		{"100k", 100_000},
+		{"1M", 1_000_000},
+	}
+	modes := []struct {
+		name   string
+		thresh int
+	}{
+		{"heap", 1 << 30},
+		{"ladder", 1},
+		{"adaptive", 0},
+	}
+	for _, d := range depths {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("pending=%s/q=%s", d.name, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				q := eventq{thresh: mode.thresh}
+				q.grow(d.pending + 1)
+				rng := NewRNG(9)
+				hold := func() Time { return Time(1 + rng.Intn(1_000_000)) } // 1ns..1ms
+				var seq int64
+				push := func(at Time) {
+					q.push(event{at: at, seq: seq, proc: noProc})
+					seq++
+				}
+				for i := 0; i < d.pending; i++ {
+					push(hold())
+				}
+				// Churn to the steady-state high-water mark before timing:
+				// at least one full band-recycle of the queue, and no
+				// shorter than the measured run itself.
+				warm := 2 * d.pending
+				if warm < b.N {
+					warm = b.N
+				}
+				for i := 0; i < warm; i++ {
+					ev := q.pop()
+					push(ev.at + hold())
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := q.pop()
+					push(ev.at + hold())
+				}
+			})
+		}
 	}
 }
 

@@ -70,11 +70,11 @@ var ErrWatchdog = errors.New("sim: watchdog limit exceeded")
 type Engine struct {
 	now Time
 	seq int64
-	// pq is an inlined 4-ary min-heap of events by (at, seq), stored by
-	// value: pushes append into the reused backing array instead of boxing
-	// a pointer per event, and the shallow tree keeps sift-ups cheap for
-	// the push-heavy workload.
-	pq       []event
+	// pq holds the pending events by (at, seq): an adaptive queue that is
+	// the inlined 4-ary min-heap for paper-sized runs and migrates to an
+	// amortized-O(1) ladder queue past ~1k pending events (queue.go).
+	pq       eventq
+	evHint   int           // Prealloc events hint; sizes sharded queues too
 	kernelCh chan struct{} // procs hand the baton back on this channel
 	procs    []*Proc
 	live     int // procs spawned and not yet finished
@@ -103,7 +103,7 @@ type Engine struct {
 	shardOf      []int32 // proc index -> owning shard, resolved lazily
 	sharded      bool    // sharded routing active (inside runSharded)
 	windowEnd    Time    // current fire window end (-1 between windows)
-	fireq        []event // current window's merge heap, kernel-owned
+	fireq        eventq  // current window's merge queue, kernel-owned
 	ack          chan struct{}
 }
 
@@ -128,11 +128,49 @@ func (e *Engine) Prealloc(procs, events int) {
 		copy(grown, e.procs)
 		e.procs = grown
 	}
-	if events > cap(e.pq) {
-		grown := make([]event, len(e.pq), events)
-		copy(grown, e.pq)
-		e.pq = grown
+	e.pq.grow(events)
+	if events > e.evHint {
+		e.evHint = events
 	}
+}
+
+// Reset returns the engine to its initial state under a new seed, keeping
+// every backing array — the event queue, the process table, and (when the
+// engine ran sharded) the shard structures — so harnesses can reuse one
+// engine across repetitions instead of reallocating the rig per rep
+// (core's pooled RunMany; DESIGN.md §3h). A reset engine is observationally
+// identical to NewEngine(seed): every run-visible field is cleared, and
+// per-process random streams derive only from the seed and the spawn order.
+// The shard worker count is structural and survives the reset (it cannot
+// change once shard structures exist); call between Runs only.
+func (e *Engine) Reset(seed uint64) {
+	if e.live > 0 {
+		panic("sim: Reset while processes are live")
+	}
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	for i := range e.procs {
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.blocked = 0
+	e.seed = seed
+	e.failure = nil
+	e.tracer = nil
+	e.rec = nil
+	e.maxEvents, e.maxTime = 0, 0
+	e.sampleEvery, e.sampleNext, e.sampleFn = 0, 0, nil
+	e.pq.reset()
+	e.fireq.reset()
+	for i := range e.shards {
+		e.shards[i].pq.reset()
+	}
+	e.lookahead = 0
+	e.assign = nil
+	e.shardOf = e.shardOf[:0]
+	e.windowEnd = 0
+	e.sharded = false
 }
 
 // Now returns the current virtual time.
@@ -205,9 +243,10 @@ func (e *Engine) SetSampler(every Time, fn func(t Time)) {
 }
 
 // heapPush inserts ev into the inlined 4-ary min-heap pq (ordered by
-// (at, seq)) and returns the updated slice. One heap implementation serves
-// the serial queue, the per-shard queues, and the window merge heap, so the
-// ordering contract cannot drift between serial and sharded execution.
+// (at, seq)) and returns the updated slice. The heap is the small-N mode of
+// eventq (queue.go), which serves the serial queue, the per-shard queues,
+// and the window merge queue alike, so the ordering contract cannot drift
+// between serial and sharded execution.
 func heapPush(pq []event, ev event) []event {
 	pq = append(pq, ev)
 	i := len(pq) - 1
@@ -259,22 +298,20 @@ func heapPop(pq []event) (event, []event) {
 	return top, pq
 }
 
-// push inserts ev into the pending-event structure: the serial heap, or —
+// push inserts ev into the pending-event structure: the serial queue, or —
 // while a sharded run is active — the owning shard's inbox / the current
-// window's merge heap (see route in shard.go).
+// window's merge queue (see route in shard.go).
 func (e *Engine) push(ev event) {
 	if e.sharded {
 		e.route(ev)
 		return
 	}
-	e.pq = heapPush(e.pq, ev)
+	e.pq.push(ev)
 }
 
-// pop removes and returns the earliest event of the serial heap.
+// pop removes and returns the earliest event of the serial queue.
 func (e *Engine) pop() event {
-	var top event
-	top, e.pq = heapPop(e.pq)
-	return top
+	return e.pq.pop()
 }
 
 // schedule enqueues fn to run at absolute virtual time at. Scheduling in
@@ -334,9 +371,9 @@ func (e *Engine) Run() error {
 }
 
 // runSerial is the classic engine loop: pop and execute events in (at, seq)
-// order from the single heap.
+// order from the single queue.
 func (e *Engine) runSerial() {
-	for len(e.pq) > 0 {
+	for e.pq.len() > 0 {
 		ev := e.pop()
 		if !e.step(&ev) {
 			break
@@ -401,17 +438,14 @@ func (e *Engine) finish() error {
 	// but be safe against user cleanup code). Like the main loop, stop at
 	// the first failure: a panic during cleanup must not keep executing
 	// subsequent events against now-inconsistent state.
-	for len(e.pq) > 0 && e.failure == nil {
+	for e.pq.len() > 0 && e.failure == nil {
 		ev := e.pop()
 		e.now = ev.at
 		e.fire(&ev)
 	}
-	// Keep the backing array for engines that run again; clear residual
+	// Keep the backing arrays for engines that run again; clear residual
 	// events (present only after a failure) so their callbacks are freed.
-	for i := range e.pq {
-		e.pq[i] = event{}
-	}
-	e.pq = e.pq[:0]
+	e.pq.reset()
 	if e.failure != nil {
 		return e.failure
 	}

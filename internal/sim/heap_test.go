@@ -36,7 +36,7 @@ func TestHeapMatchesContainerHeap(t *testing.T) {
 
 	const ops = 20_000
 	for i := 0; i < ops; i++ {
-		if rng.Intn(3) != 0 || len(e.pq) == 0 {
+		if rng.Intn(3) != 0 || e.pq.len() == 0 {
 			// Tie-heavy times: only 64 distinct timestamps across 20k
 			// events, so ordering is usually decided by seq alone.
 			at := Time(rng.Intn(64)) * time.Millisecond
@@ -52,8 +52,8 @@ func TestHeapMatchesContainerHeap(t *testing.T) {
 					i, got.at, got.seq, want.at, want.seq)
 			}
 		}
-		if len(e.pq) != ref.Len() {
-			t.Fatalf("op %d: size %d vs reference %d", i, len(e.pq), ref.Len())
+		if e.pq.len() != ref.Len() {
+			t.Fatalf("op %d: size %d vs reference %d", i, e.pq.len(), ref.Len())
 		}
 	}
 	// Drain: the tail must come out in exactly reference order too.
@@ -65,8 +65,8 @@ func TestHeapMatchesContainerHeap(t *testing.T) {
 				got.at, got.seq, want.at, want.seq)
 		}
 	}
-	if len(e.pq) != 0 {
-		t.Fatalf("drained heap still holds %d events", len(e.pq))
+	if e.pq.len() != 0 {
+		t.Fatalf("drained heap still holds %d events", e.pq.len())
 	}
 }
 
@@ -81,7 +81,7 @@ func TestHeapPopZeroesVacatedSlots(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		e.pop()
 	}
-	for i, ev := range e.pq[:cap(e.pq)] {
+	for i, ev := range e.pq.heap[:cap(e.pq.heap)] {
 		if ev.fn != nil {
 			t.Fatalf("vacated slot %d still holds a closure reference", i)
 		}

@@ -6,7 +6,8 @@ package sim
 // Architecture (DESIGN.md §3g):
 //
 //   - The pending-event set is partitioned across shardWorkers shards, each
-//     owning a private 4-ary min-heap plus an unsorted inbox. Process idx is
+//     owning a private adaptive event queue (queue.go: 4-ary heap below ~1k
+//     pending, ladder above) plus an unsorted inbox. Process idx is
 //     owned by the shard SetShardAssign chooses (node-group assignment when
 //     the harness wires one from cluster placement; idx mod shards
 //     otherwise); callback events belong to shard 0.
@@ -37,7 +38,7 @@ package sim
 
 // shard is one partition of the pending-event set.
 type shard struct {
-	pq      []event // private 4-ary min-heap; owned by the worker during phases
+	pq      eventq  // private adaptive queue; owned by the worker during phases
 	inbox   []event // events routed here while the kernel fires a window
 	staged  []event // window extraction output, ascending (at, seq)
 	head    event   // minimum pending event after a drain phase
@@ -106,7 +107,7 @@ func (e *Engine) SetShardAssign(fn func(proc int32, name string) int) { e.assign
 // so inboxes need no locks; the phase barriers order them with the workers.
 func (e *Engine) route(ev event) {
 	if ev.at <= e.windowEnd {
-		e.fireq = heapPush(e.fireq, ev)
+		e.fireq.push(ev)
 		return
 	}
 	s := &e.shards[e.shardIndex(ev.proc)]
@@ -144,21 +145,30 @@ func (e *Engine) runSharded() {
 	if e.shards == nil {
 		e.shards = make([]shard, e.shardWorkers)
 		e.ack = make(chan struct{})
+		// Spread the Prealloc churn-depth hint across the sharded paths so
+		// steady-state windows never re-grow shard queues or inboxes.
+		hint := e.evHint / e.shardWorkers
 		for i := range e.shards {
-			e.shards[i].cmd = make(chan shardOp)
+			s := &e.shards[i]
+			s.cmd = make(chan shardOp)
+			if hint > 0 {
+				s.pq.grow(hint)
+				s.inbox = make([]event, 0, hint)
+				s.staged = make([]event, 0, hint)
+			}
+		}
+		if e.evHint > 0 {
+			e.fireq.grow(e.evHint)
 		}
 	}
 	e.sharded = true
 	e.windowEnd = -1
 	// Seed the shards with everything scheduled before Run (and anything a
-	// previous Run on this engine left pending).
-	for _, ev := range e.pq {
-		e.route(ev)
+	// previous Run on this engine left pending). Routing order is
+	// irrelevant — shards sort — so drain in pop order.
+	for e.pq.len() > 0 {
+		e.route(e.pq.pop())
 	}
-	for i := range e.pq {
-		e.pq[i] = event{}
-	}
-	e.pq = e.pq[:0]
 
 	for i := range e.shards {
 		go e.shardWorker(&e.shards[i])
@@ -183,7 +193,7 @@ func (e *Engine) runSharded() {
 		for i := range e.shards {
 			s := &e.shards[i]
 			for _, ev := range s.staged {
-				e.fireq = heapPush(e.fireq, ev)
+				e.fireq.push(ev)
 			}
 			for j := range s.staged {
 				s.staged[j] = event{}
@@ -192,9 +202,8 @@ func (e *Engine) runSharded() {
 		}
 		// Fire the merged window in global (at, seq) order — exactly the
 		// order the serial engine pops these events.
-		for len(e.fireq) > 0 {
-			var ev event
-			ev, e.fireq = heapPop(e.fireq)
+		for e.fireq.len() > 0 {
+			ev := e.fireq.pop()
 			if !e.step(&ev) {
 				break
 			}
@@ -227,22 +236,20 @@ func (e *Engine) shardWorker(s *shard) {
 		switch op {
 		case opDrain:
 			for _, ev := range s.inbox {
-				s.pq = heapPush(s.pq, ev)
+				s.pq.push(ev)
 			}
 			for i := range s.inbox {
 				s.inbox[i] = event{}
 			}
 			s.inbox = s.inbox[:0]
-			s.hasHead = len(s.pq) > 0
+			s.hasHead = s.pq.len() > 0
 			if s.hasHead {
-				s.head = s.pq[0]
+				s.head = s.pq.peek()
 			}
 		case opExtract:
 			end := e.windowEnd
-			for len(s.pq) > 0 && s.pq[0].at <= end {
-				var ev event
-				ev, s.pq = heapPop(s.pq)
-				s.staged = append(s.staged, ev)
+			for s.pq.len() > 0 && s.pq.peek().at <= end {
+				s.staged = append(s.staged, s.pq.pop())
 			}
 		case opQuit:
 			e.ack <- struct{}{}
@@ -253,26 +260,22 @@ func (e *Engine) shardWorker(s *shard) {
 }
 
 // collapse folds every still-pending sharded event back into the serial
-// heap and deactivates sharded routing, so finish() — stranded-process
+// queue and deactivates sharded routing, so finish() — stranded-process
 // unwinding and the post-failure drain — sees exactly the serial engine's
 // state. Aborted runs leave events behind; completed runs collapse nothing.
 func (e *Engine) collapse() {
 	e.sharded = false
 	e.windowEnd = -1
-	for len(e.fireq) > 0 {
-		var ev event
-		ev, e.fireq = heapPop(e.fireq)
-		e.pq = heapPush(e.pq, ev)
+	for e.fireq.len() > 0 {
+		e.pq.push(e.fireq.pop())
 	}
 	for i := range e.shards {
 		s := &e.shards[i]
-		for len(s.pq) > 0 {
-			var ev event
-			ev, s.pq = heapPop(s.pq)
-			e.pq = heapPush(e.pq, ev)
+		for s.pq.len() > 0 {
+			e.pq.push(s.pq.pop())
 		}
 		for _, ev := range s.inbox {
-			e.pq = heapPush(e.pq, ev)
+			e.pq.push(ev)
 		}
 		for j := range s.inbox {
 			s.inbox[j] = event{}

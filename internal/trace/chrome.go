@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -36,59 +35,19 @@ type Counter struct {
 //
 // The output is written with a fixed field order and fixed number
 // formatting, so a deterministic span stream serializes to deterministic
-// bytes — the property the -j1 vs -j8 trace identity check relies on.
+// bytes — the property the -j1 vs -j8 trace identity check relies on. It is
+// a thin loop over ChromeStream, so buffered and streamed exports of the
+// same runs are byte-identical by construction.
 func WriteChrome(w io.Writer, runs []Run) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
-	first := true
-	emit := func(line string) {
-		if !first {
-			bw.WriteString(",\n")
-		}
-		first = false
-		bw.WriteString(line)
-	}
-	for ri, run := range runs {
-		pid := ri + 1
-		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
-			pid, quote(run.Label)))
-		tids := make(map[string]int)
+	cs := NewChromeStream(w)
+	for _, run := range runs {
+		rec := cs.StartRun(run.Label)
 		for _, s := range run.Spans {
-			tid, ok := tids[s.Proc]
-			if !ok {
-				tid = len(tids) + 1
-				tids[s.Proc] = tid
-				emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
-					pid, tid, quote(s.Proc)))
-			}
-			args := ""
-			if s.Bytes != 0 {
-				args = fmt.Sprintf(",\"args\":{\"bytes\":%d}", s.Bytes)
-			}
-			if s.Attr != "" {
-				if args == "" {
-					args = fmt.Sprintf(",\"args\":{\"attr\":%s}", quote(s.Attr))
-				} else {
-					args = fmt.Sprintf(",\"args\":{\"bytes\":%d,\"attr\":%s}", s.Bytes, quote(s.Attr))
-				}
-			}
-			if s.Dur == 0 {
-				emit(fmt.Sprintf("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%s,\"cat\":%s%s}",
-					pid, tid, us(s.Start), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
-				continue
-			}
-			emit(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s%s}",
-				pid, tid, us(s.Start), us(s.Dur), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+			cs.span(rec, s)
 		}
-		for _, c := range run.Counters {
-			for i, t := range c.Times {
-				emit(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%s}}",
-					pid, us(t), quote(c.Name), strconv.FormatFloat(c.Values[i], 'g', -1, 64)))
-			}
-		}
+		cs.EndRun(rec, run.Counters)
 	}
-	bw.WriteString("\n]}\n")
-	return bw.Flush()
+	return cs.Close()
 }
 
 // us renders a virtual duration as microseconds at nanosecond resolution:

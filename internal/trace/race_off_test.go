@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is active; heap-accounting
+// assertions are skipped under it (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChromeStream is the incremental Chrome trace-event writer: the streaming
+// counterpart of WriteChrome for runs too large to retain their span vector
+// in memory. The document is written front to back — header at creation,
+// one process block per StartRun, spans as they are emitted, footer at
+// Close — so writer memory stays O(buffer), independent of run length.
+//
+// WriteChrome is itself built on ChromeStream, so the streamed bytes of a
+// run are identical to the buffered export of the same span sequence by
+// construction — the property verify.sh's streaming gate checks end to end.
+//
+// A stream serializes one run at a time: StartRun opens the next Chrome
+// process and returns a streaming Recorder bound to it; the caller must
+// finish emitting through that recorder (and call EndRun) before starting
+// the next run. Concurrently executing traced runs must not share a stream.
+type ChromeStream struct {
+	bw    *bufio.Writer
+	first bool // no event line emitted yet (comma placement)
+	runs  int  // runs started; pid = run index + 1, as in WriteChrome
+}
+
+// NewChromeStream starts a Chrome trace-event JSON document on w.
+func NewChromeStream(w io.Writer) *ChromeStream {
+	cs := &ChromeStream{bw: bufio.NewWriter(w), first: true}
+	cs.bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return cs
+}
+
+// emit writes one event line with the document's comma discipline.
+func (cs *ChromeStream) emit(line string) {
+	if !cs.first {
+		cs.bw.WriteString(",\n")
+	}
+	cs.first = false
+	cs.bw.WriteString(line)
+}
+
+// StartRun opens the next run as a Chrome process named by label and
+// returns a streaming recorder for it: every span emitted through the
+// recorder is serialized immediately instead of retained, and per-operation
+// statistics (Recorder.Stats) are folded incrementally.
+func (cs *ChromeStream) StartRun(label string) *Recorder {
+	cs.runs++
+	cs.emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+		cs.runs, quote(label)))
+	return &Recorder{stream: cs, pid: cs.runs, tids: make(map[string]int)}
+}
+
+// span serializes one span of rec's run, emitting the proc's thread-name
+// metadata on first appearance — the exact event sequence WriteChrome
+// produces for a buffered run.
+func (cs *ChromeStream) span(rec *Recorder, s Span) {
+	tid, ok := rec.tids[s.Proc]
+	if !ok {
+		tid = len(rec.tids) + 1
+		rec.tids[s.Proc] = tid
+		cs.emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			rec.pid, tid, quote(s.Proc)))
+	}
+	args := ""
+	if s.Bytes != 0 {
+		args = fmt.Sprintf(",\"args\":{\"bytes\":%d}", s.Bytes)
+	}
+	if s.Attr != "" {
+		if args == "" {
+			args = fmt.Sprintf(",\"args\":{\"attr\":%s}", quote(s.Attr))
+		} else {
+			args = fmt.Sprintf(",\"args\":{\"bytes\":%d,\"attr\":%s}", s.Bytes, quote(s.Attr))
+		}
+	}
+	if s.Dur == 0 {
+		cs.emit(fmt.Sprintf("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%s,\"cat\":%s%s}",
+			rec.pid, tid, us(s.Start), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+		return
+	}
+	cs.emit(fmt.Sprintf("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s%s}",
+		rec.pid, tid, us(s.Start), us(s.Dur), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
+}
+
+// EndRun closes rec's run, emitting its sampled counter tracks (nil for
+// none). Runs aborted before EndRun leave a valid document — their partial
+// span stream shows the timeline up to the failure.
+func (cs *ChromeStream) EndRun(rec *Recorder, counters []Counter) {
+	for _, c := range counters {
+		for i, t := range c.Times {
+			cs.emit(fmt.Sprintf("{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%s}}",
+				rec.pid, us(t), quote(c.Name), strconv.FormatFloat(c.Values[i], 'g', -1, 64)))
+		}
+	}
+}
+
+// Close terminates the JSON document and flushes the buffer. The stream
+// must not be used afterwards.
+func (cs *ChromeStream) Close() error {
+	cs.bw.WriteString("\n]}\n")
+	return cs.bw.Flush()
+}

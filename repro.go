@@ -139,6 +139,16 @@ type TraceCollector = experiments.Collector
 // NewTraceCollector returns an empty trace collector.
 func NewTraceCollector() *TraceCollector { return experiments.NewCollector() }
 
+// ChromeTraceStream is an incremental Chrome trace writer: runs attached to
+// it (Config.TraceStream, ExperimentOptions.TraceStream) serialize each
+// span the moment it is emitted instead of retaining it, keeping tracing
+// memory bounded on arbitrarily long runs. Bytes are identical to buffered
+// collection followed by WriteChromeTrace. Close finishes the document.
+type ChromeTraceStream = trace.ChromeStream
+
+// NewChromeTraceStream starts a Chrome trace-event JSON document on w.
+func NewChromeTraceStream(w io.Writer) *ChromeTraceStream { return trace.NewChromeStream(w) }
+
 // MetricsRegistry is a run's sampled virtual-time metrics (Result.Metrics
 // when Config.MetricsInterval is set). See metrics.Registry.
 type MetricsRegistry = metrics.Registry
@@ -160,6 +170,20 @@ type MetricsCollector = experiments.MetricsCollector
 
 // NewMetricsCollector returns an empty metrics collector.
 func NewMetricsCollector() *MetricsCollector { return experiments.NewMetricsCollector() }
+
+// MetricsCSVSink is an incremental metrics CSV writer: runs attached to it
+// (Config.MetricsSink) write each sample as one CSV row the moment the
+// sampler fires instead of buffering sample vectors, keeping metering
+// memory bounded on arbitrarily long runs. Bytes are identical to buffered
+// collection followed by WriteMetricsCSV. Flush before closing the file.
+type MetricsCSVSink = metrics.CSVSink
+
+// NewMetricsCSVSink starts a metrics time-series CSV document on w.
+func NewMetricsCSVSink(w io.Writer) *MetricsCSVSink { return metrics.NewCSVSink(w) }
+
+// MetricsStreamer streams each experiment's metered repetition into a
+// MetricsCSVSink; attach one via ExperimentOptions.MetricsStream.
+type MetricsStreamer = experiments.MetricsStream
 
 // ExperimentOptions tune paper-experiment execution.
 type ExperimentOptions = experiments.Options

@@ -72,6 +72,22 @@ echo "== serial-mode invisibility: default vs -pdes-j 1 =="
 "$TRACETMP/experiments" -quick -q -pdes-j 1 fig5 faultsweep > "$TRACETMP/sout_serial.txt"
 cmp "$TRACETMP/sout_default.txt" "$TRACETMP/sout_serial.txt"
 
+echo "== streaming-sink determinism: -trace-stream / -metrics-stream vs buffered =="
+# The bounded-memory streaming sinks must be byte-identical to buffered
+# collection: the Chrome trace streamed span-by-span equals the buffered
+# export, and the metrics CSV streamed row-by-row equals WriteCSV over the
+# retained registries (DESIGN.md §3h). Gated on a clean sweep (fig5):
+# faulted runs die mid-stream by design, leaving a valid but intentionally
+# longer streamed document than post-hoc collection of surviving runs.
+"$TRACETMP/experiments" -quick -q -trace "$TRACETMP/bt.json" -metrics "$TRACETMP/bm.csv" fig5 > "$TRACETMP/bout.txt"
+"$TRACETMP/experiments" -quick -q -trace-stream "$TRACETMP/st.json" -metrics-stream "$TRACETMP/sm.csv" fig5 > "$TRACETMP/sout.txt"
+cmp "$TRACETMP/bm.csv" "$TRACETMP/sm.csv"
+# Counter tracks need retained metrics, so compare the trace bytes from a
+# stream paired with buffered metrics (same trace path, same counters).
+"$TRACETMP/experiments" -quick -q -trace-stream "$TRACETMP/st2.json" -metrics "$TRACETMP/bm2.csv" fig5 > /dev/null
+cmp "$TRACETMP/bt.json" "$TRACETMP/st2.json"
+cmp "$TRACETMP/bm.csv" "$TRACETMP/bm2.csv"
+
 echo "== zero-alloc gate: tracing/metrics-off allocation budget =="
 # The span-tracer and metrics hooks must be free when disabled: the delta
 # tests scale event/op counts ~100x and require zero extra allocations
