@@ -3,7 +3,7 @@
 #
 # Runs the kernel microbenchmarks plus the end-to-end figure benchmarks the
 # perf acceptance criteria track, and merges ns/op, B/op, and allocs/op
-# into BENCH_PR7.json under the given label (default: "current"). With a
+# into BENCH_PR8.json under the given label (default: "current"). With a
 # baseline label already present in the ledger, benchrec prints deltas.
 #
 # Usage:
@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")"
 
 LABEL="${1:-current}"
-LEDGER="BENCH_PR7.json"
+LEDGER="BENCH_PR8.json"
 
 go build -o /tmp/benchrec ./cmd/benchrec
 
@@ -22,6 +22,7 @@ go build -o /tmp/benchrec ./cmd/benchrec
 	go test -run=NONE -bench='BenchmarkSleepEvents|BenchmarkManyProcs|BenchmarkWakeBlock|BenchmarkHeapChurn10k|BenchmarkResourceContention|BenchmarkSharded' \
 		-benchtime=200000x ./internal/sim/
 	go test -run=NONE -bench='BenchmarkScaleEvents' -benchtime=100000x ./internal/sim/
+	go test -run=NONE -bench='BenchmarkCapacityEvict' -benchtime=200000x ./internal/capacity/
 	go test -run=NONE -bench='BenchmarkFig5$|BenchmarkFig6$|BenchmarkWorkflowLargePairs$|BenchmarkRepeatPooled$' -benchtime=2x .
 } | tee /dev/stderr | /tmp/benchrec -label "$LABEL" -o "$LEDGER"
 

@@ -31,6 +31,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/dyad"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -132,6 +133,15 @@ type Config struct {
 	// when a producer's broker and staging device are both unreachable.
 	// DYAD-only; adds the mirror's write cost to the production path.
 	LustreFallback bool
+	// Capacity, when non-nil and enabled, imposes finite burst-buffer
+	// budgets on the node-local staging layers (DYAD NVMe staging + RAM
+	// cache, or the XFS filesystem; Lustre has no node-local layer to
+	// bound): frames are evicted under the spec's policy, spill to the
+	// LustreFallback mirror when one is deployed, and producers feel
+	// back-pressure when eviction cannot make room (DESIGN.md §3i). Nil or
+	// a disabled spec (the default) keeps every budget infinite and the
+	// timeline byte-identical to a build without the capacity layer.
+	Capacity *capacity.Spec
 	// MaxEvents / MaxVirtualTime arm the engine watchdog. Zero means
 	// unlimited on healthy runs; fault-injected runs get generous defaults
 	// so a livelocked recovery loop aborts instead of hanging the batch.
@@ -248,6 +258,20 @@ func (c Config) Validate() error {
 	}
 	if c.LustreFallback && c.Backend != DYAD {
 		return fmt.Errorf("core: LustreFallback is a DYAD degraded-mode option; backend is %s", c.Backend)
+	}
+	if c.Capacity != nil {
+		horizon := c.Frequency() * time.Duration(c.Frames)
+		if err := c.Capacity.Validate(horizon); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if c.Capacity.Enabled() {
+			if c.Backend == Lustre {
+				return fmt.Errorf("core: Capacity bounds node-local staging; Lustre has none")
+			}
+			if c.Backend == XFS && c.Capacity.CacheBytes > 0 {
+				return fmt.Errorf("core: Capacity.CacheBytes is a DYAD consumer-cache budget; backend is %s", c.Backend)
+			}
+		}
 	}
 	if c.MaxEvents < 0 {
 		return fmt.Errorf("core: MaxEvents %d < 0", c.MaxEvents)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/trace"
@@ -103,6 +104,26 @@ func (r *rig) applyFault(ev faults.Event) {
 	if r.rec != nil {
 		r.rec.Emit(trace.Span{Proc: "fault-injector", Component: "fault", Name: ev.Kind.String(),
 			Start: r.eng.Now(), Dur: ev.For, Attr: "target=" + itoa(ev.Target)})
+	}
+}
+
+// applyProvision executes one scheduled burst-buffer reprovisioning
+// (Config.Capacity.Plan): every node's budgets are reset to the event's
+// values, shrinking below occupancy forcing evictions and growing waking
+// back-pressured producers. Scheduled from newRig only when capacity is
+// enabled.
+func (r *rig) applyProvision(ev capacity.Provision) {
+	switch {
+	case r.dy != nil:
+		r.dy.Provision(ev.StagingBytes, ev.CacheBytes)
+	case r.xf != nil:
+		r.xf.Capacity().Resize(ev.StagingBytes)
+	}
+	// Mark the reprovisioning on the trace timeline, like fault injections.
+	if r.rec != nil {
+		r.rec.Emit(trace.Span{Proc: "provisioner", Component: "capacity", Name: "provision",
+			Start: r.eng.Now(), Bytes: ev.StagingBytes,
+			Attr: "staging=" + itoa(int(ev.StagingBytes)) + " cache=" + itoa(int(ev.CacheBytes))})
 	}
 }
 

@@ -42,4 +42,43 @@ func (r *rig) registerMetrics() {
 	if r.lfs != nil {
 		r.lfs.RegisterMetrics(reg)
 	}
+
+	// Finite burst-buffer capacity series, last so every capacity-off CSV
+	// keeps its exact pre-capacity column set. The dashboard trio shows the
+	// collapse onset: occupancy saturates, evictions start, producers stall.
+	if capMet := r.capMet; capMet != nil {
+		dy := r.dy
+		xf := r.xf
+		reg.Gauge("capacity/staging_occupancy_mb", func() float64 {
+			if xf != nil {
+				return float64(xf.Capacity().Used()) / 1e6
+			}
+			var used int64
+			for id := 0; id < r.cfg.ComputeNodes(); id++ {
+				used += dy.StagingOccupancy(id)
+			}
+			return float64(used) / 1e6
+		}).OnDashboard()
+		reg.Counter("capacity/evictions", func() float64 {
+			return float64(capMet.Evictions + capMet.CacheEvictions)
+		}).OnDashboard()
+		reg.Counter("capacity/spilled_mb", func() float64 {
+			return float64(capMet.SpilledBytes) / 1e6
+		}).OnDashboard()
+		reg.Util("capacity/backpressure_frac", pairs, func() float64 {
+			return float64(capMet.StallNanos)
+		}).OnDashboard()
+		reg.Counter("capacity/dropped_frames", func() float64 { return float64(capMet.DroppedFrames) })
+		reg.Counter("capacity/cache_bypasses", func() float64 { return float64(capMet.CacheBypasses) })
+		if dy != nil {
+			// Per-node staging occupancy (CSV only): where the pressure lands.
+			// Compute nodes only — Lustre server nodes never host brokers.
+			for id := 0; id < r.cfg.ComputeNodes(); id++ {
+				id := id
+				reg.Gauge("capacity/"+r.cl.Node(id).Name()+"_staging_mb", func() float64 {
+					return float64(dy.StagingOccupancy(id)) / 1e6
+				})
+			}
+		}
+	}
 }

@@ -32,6 +32,11 @@ func canonical(results []*Result) string {
 		}
 		fmt.Fprintf(&sb, "[%d] %s prod=%v cons=%v makespan=%v frames=%d bytes=%d recovery=%v\n",
 			i, r.Cfg.Label(), r.Producer, r.Consumer, r.Makespan, r.FramesRead, r.BytesRead, r.Recovery)
+		if !r.Capacity.Zero() {
+			// Only pressured runs print the capacity record, so pre-capacity
+			// golden fixtures stay byte-identical.
+			fmt.Fprintf(&sb, "    capacity=%v\n", r.Capacity)
+		}
 		for _, p := range r.ProducerProfiles {
 			p.Render(&sb)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/caliper"
+	"repro/internal/capacity"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -54,6 +55,11 @@ type Result struct {
 	// healthy runs.
 	Recovery faults.Metrics
 
+	// Capacity records the run's capacity-pressure activity (evictions,
+	// spills, drops, back-pressure stalls). All zero when Config.Capacity
+	// is off or the budgets were never pressured.
+	Capacity capacity.Metrics
+
 	// ProducerProfiles / ConsumerProfiles hold per-pair Caliper profiles
 	// when Config.KeepProfiles is set.
 	ProducerProfiles []*caliper.Profile
@@ -92,6 +98,9 @@ func (r *rig) collect() (*Result, error) {
 		BytesRead:  r.bytesRead,
 	}
 	res.Recovery = r.recovery
+	if r.capMet != nil {
+		res.Capacity = *r.capMet
+	}
 	if r.dy != nil {
 		res.Recovery.Add(r.dy.Recovery)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/caliper"
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/dyad"
 	"repro/internal/faults"
@@ -65,6 +66,10 @@ type rig struct {
 	recovery faults.Metrics
 	// failDepth tracks overlapping DeviceFail windows per device.
 	failDepth map[*cluster.SSD]int
+
+	// capMet accumulates capacity-pressure activity (evictions, spills,
+	// stalls) when Config.Capacity is enabled; nil otherwise.
+	capMet *capacity.Metrics
 }
 
 // cfgResolved caches derived quantities next to the user config.
@@ -189,6 +194,31 @@ func newRig(cfg Config, pool *runPool) *rig {
 		buildLustre()
 	}
 
+	// Finite burst-buffer capacity (DESIGN.md §3i). Disabled specs never
+	// reach this code: the backends keep nil capacity stores and the
+	// timeline is byte-identical to a build without the capacity layer.
+	capOn := cfg.Capacity.Enabled()
+	if capOn {
+		r.capMet = &capacity.Metrics{}
+		switch cfg.Backend {
+		case DYAD:
+			r.dy.SetCapacity(cfg.Capacity, r.capMet)
+		case XFS:
+			xf := r.xf
+			store := capacity.NewStore(cl.Node(0).Name()+"/xfs", cfg.Capacity.StagingBytes,
+				capacity.NewEvictor(cfg.Capacity.Policy), false, r.capMet,
+				func(path string, size int64, consumed bool) bool {
+					xf.Tree().Remove(path)
+					return false // XFS has no shared mirror: evictions drop data
+				})
+			xf.SetCapacity(store)
+		}
+		for _, ev := range cfg.Capacity.Plan {
+			ev := ev
+			eng.After(ev.At, func() { r.applyProvision(ev) })
+		}
+	}
+
 	if cfg.MetricsInterval > 0 {
 		if r.reg != nil {
 			// Pooled registry (streaming runs only): retire the old series
@@ -227,11 +257,12 @@ func newRig(cfg Config, pool *runPool) *rig {
 	}
 
 	// Watchdog: unlimited on healthy runs unless configured; fault-injected
-	// runs get generous defaults so a livelocked recovery loop aborts with
+	// and capacity-constrained runs get generous defaults so a livelocked
+	// recovery loop or an unsatisfiable back-pressure stall aborts with
 	// sim.ErrWatchdog instead of hanging the batch.
 	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
 	maxEvents, maxTime := cfg.MaxEvents, sim.Time(cfg.MaxVirtualTime)
-	if faultsOn {
+	if faultsOn || capOn {
 		if maxEvents == 0 {
 			maxEvents = int64(cfg.Pairs)*int64(cfg.Frames)*100_000 + 10_000_000
 		}

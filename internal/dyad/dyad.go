@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/caliper"
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/kvs"
@@ -119,6 +120,12 @@ type System struct {
 	brokers  map[int]*Broker
 	fallback func(*cluster.Node) vfs.FS
 
+	// Finite burst-buffer capacity (SetCapacity). capSpec nil or disabled
+	// means infinite budgets: no broker gets a capacity store and every
+	// capacity hook stays one nil check.
+	capSpec *capacity.Spec
+	capMet  *capacity.Metrics
+
 	// Produced counts frames published; Fetched counts remote transfers.
 	Produced int64
 	Fetched  int64
@@ -155,6 +162,12 @@ type Broker struct {
 	cache   *vfs.Tree // RAM-backed consumer-side cache
 	srv     *sim.Resource
 	locks   *locks.Manager
+
+	// stagingCap/cacheCap are the node's finite byte budgets; nil when
+	// capacity is off. stagingCap is also attached to the staging xfs.FS so
+	// Produce's WriteFile reserves (evicts, stalls) through it.
+	stagingCap *capacity.Store
+	cacheCap   *capacity.Store
 
 	// downUntil marks the broker crashed until the given virtual time
 	// (fault injection; zero means it has never crashed).
@@ -213,6 +226,67 @@ func (s *System) SetFallback(mount func(*cluster.Node) vfs.FS) { s.fallback = mo
 // HasFallback reports whether a shared-filesystem mirror is installed.
 func (s *System) HasFallback() bool { return s.fallback != nil }
 
+// SetCapacity imposes finite burst-buffer budgets on every broker: spec's
+// StagingBytes bounds each node's NVMe staging area and CacheBytes its
+// consumer RAM cache (0 = infinite). Evicted-but-unconsumed staging frames
+// spill when a fallback mirror is installed (SetFallback) — later fetches
+// degrade to the mirror — and drop otherwise, failing later fetches with a
+// wrapped capacity.ErrEvicted. met accumulates the run's pressure record
+// (a private record is kept when nil). Call before any client traffic; a
+// nil or disabled spec leaves capacity off.
+func (s *System) SetCapacity(spec *capacity.Spec, met *capacity.Metrics) {
+	if !spec.Enabled() {
+		return
+	}
+	if met == nil {
+		met = &capacity.Metrics{}
+	}
+	cp := *spec // private copy: Provision mutates the budgets at runtime
+	s.capSpec = &cp
+	s.capMet = met
+	for id := 0; id < s.cl.Nodes(); id++ { // deterministic order, never map order
+		if b, ok := s.brokers[id]; ok {
+			b.buildCapacity()
+		}
+	}
+}
+
+// Provision resizes every broker's budgets at virtual runtime (dynamic
+// burst-buffer provisioning; 0 = infinite). Shrinking below occupancy
+// forces evictions; growing wakes back-pressured producers. No-op when
+// capacity is off.
+func (s *System) Provision(stagingBytes, cacheBytes int64) {
+	if s.capSpec == nil {
+		return
+	}
+	s.capSpec.StagingBytes = stagingBytes
+	s.capSpec.CacheBytes = cacheBytes
+	for id := 0; id < s.cl.Nodes(); id++ { // deterministic order, never map order
+		if b, ok := s.brokers[id]; ok {
+			b.stagingCap.Resize(stagingBytes)
+			b.cacheCap.Resize(cacheBytes)
+		}
+	}
+}
+
+// StagingOccupancy returns node nodeID's staging-store occupancy in bytes
+// (0 when capacity is off or the node has no broker yet).
+func (s *System) StagingOccupancy(nodeID int) int64 {
+	if b, ok := s.brokers[nodeID]; ok {
+		return b.stagingCap.Used()
+	}
+	return 0
+}
+
+// CacheOccupancy returns node nodeID's consumer-cache occupancy in bytes
+// (0 when capacity is off or the node has no broker yet).
+func (s *System) CacheOccupancy(nodeID int) int64 {
+	if b, ok := s.brokers[nodeID]; ok {
+		return b.cacheCap.Used()
+	}
+	return 0
+}
+
 // Broker returns (creating on first use) the broker on node.
 func (s *System) Broker(node *cluster.Node) *Broker {
 	b, ok := s.brokers[node.ID]
@@ -225,9 +299,47 @@ func (s *System) Broker(node *cluster.Node) *Broker {
 			srv:     sim.NewResource(s.cl.Engine(), node.Name()+"/dyad-broker", 1),
 			locks:   locks.NewManager(s.params.Locks),
 		}
+		if s.capSpec != nil {
+			b.buildCapacity()
+		}
 		s.brokers[node.ID] = b
 	}
 	return b
+}
+
+// buildCapacity attaches the system's capacity budgets to the broker.
+func (b *Broker) buildCapacity() {
+	spec, met := b.sys.capSpec, b.sys.capMet
+	ev := capacity.NewEvictor(spec.Policy)
+	b.stagingCap = capacity.NewStore(b.node.Name()+"/staging", spec.StagingBytes, ev, false, met,
+		func(path string, size int64, consumed bool) bool {
+			b.staging.Tree().Remove(path)
+			// The frame spills iff the deployment mirrors every produce to
+			// the shared filesystem — degraded reads find it there.
+			return b.sys.fallback != nil
+		})
+	b.staging.SetCapacity(b.stagingCap)
+	b.cacheCap = capacity.NewStore(b.node.Name()+"/cache", spec.CacheBytes, capacity.NewEvictor(spec.Policy), true, met,
+		func(path string, size int64, consumed bool) bool {
+			b.cache.Remove(path)
+			return false // only a copy is lost; the staging original survives
+		})
+}
+
+// stagingGet is a tombstone-aware staging lookup. A frame evicted while its
+// write is still in flight lands in the tree after the victim scan ran, so
+// the tree can briefly disagree with the byte budget; the budget wins —
+// evicted frames read as gone even when the bytes raced in.
+func (b *Broker) stagingGet(path string) (vfs.Payload, bool) {
+	got, ok := b.staging.Tree().Get(path)
+	if ok && b.stagingCap != nil {
+		switch b.stagingCap.State(path) {
+		case capacity.StateSpilled, capacity.StateDropped:
+			b.staging.Tree().Remove(path)
+			return vfs.Payload{}, false
+		}
+	}
+	return got, ok
 }
 
 // Staging exposes a node's staging filesystem (tests and invariants).
@@ -235,6 +347,14 @@ func (b *Broker) Staging() *xfs.FS { return b.staging }
 
 // Cache exposes a node's consumer-side cache (tests and invariants).
 func (b *Broker) Cache() *vfs.Tree { return b.cache }
+
+// StagingCap exposes the node's staging capacity store (nil when capacity
+// is off; tests and metrics).
+func (b *Broker) StagingCap() *capacity.Store { return b.stagingCap }
+
+// CacheCap exposes the node's consumer-cache capacity store (nil when
+// capacity is off; tests and metrics).
+func (b *Broker) CacheCap() *capacity.Store { return b.cacheCap }
 
 // Crash kills the broker for d of virtual time: its RAM cache is lost and
 // fetch requests against it time out until the restart. The NVMe staging
@@ -245,6 +365,7 @@ func (b *Broker) Crash(d time.Duration) {
 		b.downUntil = until
 	}
 	b.cache = vfs.NewTree()
+	b.cacheCap.Clear() // the lost cache frees its budget (nil-safe)
 	b.sys.Recovery.BrokerRestarts++
 }
 
@@ -457,12 +578,25 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		// --- Local cache store (dyad_cons_store) ---
 		ann.Begin("dyad_cons_store")
 		var serr error
-		c.broker.locks.WithExclusive(p, path, func() {
-			serr = c.broker.cacheStore(p, data.Size())
-			if serr == nil {
-				c.broker.cache.Put(path, data)
-			}
-		})
+		if c.broker.cacheCap.TryReserve(path, data.Size()) {
+			// Admission check first (true when capacity is off): a refused
+			// frame skips the store cost entirely and the read below serves
+			// the in-flight copy uncached (a counted cache bypass).
+			c.broker.locks.WithExclusive(p, path, func() {
+				serr = c.broker.cacheStore(p, data.Size())
+				if serr == nil {
+					c.broker.cache.Put(path, data)
+					if cc := c.broker.cacheCap; cc != nil && cc.State(path) != capacity.StateResident {
+						// A concurrent admission evicted this entry during the
+						// store's device wait; keep the cache and the budget
+						// agreeing on what is resident.
+						c.broker.cache.Remove(path)
+					}
+				} else if c.broker.cacheCap != nil {
+					c.broker.cacheCap.Remove(path) // roll back the admission
+				}
+			})
+		}
 		ann.End("dyad_cons_store")
 		if serr != nil {
 			// Cache store failed (device gone under the burst-buffer
@@ -481,17 +615,25 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		var got vfs.Payload
 		var ok bool
 		if local {
-			got, ok = c.broker.staging.Tree().Get(path)
+			got, ok = c.broker.stagingGet(path)
 			if ok {
 				c.sys.StagingReads++
+			} else if c.broker.stagingCap.State(path) != capacity.StateUnknown {
+				// Produced, then evicted under capacity pressure before this
+				// consumer got to it: spilled frames degrade to the mirror
+				// below, dropped ones are gone.
+				rerr = vfs.PathError("dyad read", path, capacity.ErrEvicted)
+				return
 			}
 		} else {
 			got, ok = c.broker.cache.Get(path)
 			if ok {
 				c.sys.CacheHits++
+				c.broker.cacheCap.MarkConsumed(path)
 			} else {
 				// The local broker crashed between store and read and lost
-				// its RAM cache; serve the in-flight copy.
+				// its RAM cache (or admission was refused); serve the
+				// in-flight copy.
 				c.sys.CacheMisses++
 				got, ok = data, true
 			}
@@ -504,13 +646,16 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 			rerr = err
 			return
 		}
+		if local {
+			c.broker.stagingCap.MarkConsumed(path)
+		}
 		data = got
 	})
 	ann.End("read_single_buf")
 	if rerr != nil {
-		if fb := c.fallbackFS(); fb != nil && errors.Is(rerr, faults.ErrDeviceFailed) {
-			// Local copy unreadable (device failed): degrade to the shared
-			// mirror.
+		if fb := c.fallbackFS(); fb != nil && (errors.Is(rerr, faults.ErrDeviceFailed) || errors.Is(rerr, capacity.ErrEvicted)) {
+			// Local copy unreadable (device failed) or evicted-but-spilled:
+			// degrade to the shared mirror.
 			got, ferr := fb.ReadFile(p, path)
 			if ferr == nil {
 				c.sys.Recovery.DegradedReads++
@@ -560,19 +705,28 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 	var rerr error
 	owner.srv.Use(p, params.BrokerService)
 	owner.locks.WithShared(p, path, func() {
-		got, ok := owner.staging.Tree().Get(path)
+		got, ok := owner.stagingGet(path)
 		if !ok {
+			if owner.stagingCap.State(path) != capacity.StateUnknown {
+				// Evicted under capacity pressure on the producer's node.
+				rerr = vfs.PathError("dyad fetch", path, capacity.ErrEvicted)
+				return
+			}
 			rerr = vfs.PathError("dyad fetch", path, vfs.ErrNotExist)
 			return
 		}
 		c.sys.StagingReads++
 		rerr = owner.cachedRead(p, got.Size())
+		if rerr == nil {
+			owner.stagingCap.MarkConsumed(path)
+		}
 		data = got
 	})
 	if rerr != nil {
-		if errors.Is(rerr, faults.ErrDeviceFailed) {
-			// Broker answered but its device is gone: straight to the
-			// shared mirror (the staging copy is unreadable too).
+		if errors.Is(rerr, faults.ErrDeviceFailed) || errors.Is(rerr, capacity.ErrEvicted) {
+			// Broker answered but its device is gone (the staging copy is
+			// unreadable too) or the frame was evicted: straight to the
+			// shared mirror.
 			return c.fetchDegraded(p, owner, path, rerr)
 		}
 		return vfs.Payload{}, fmt.Errorf("dyad: fetch %s: %w", path, rerr)
@@ -594,9 +748,10 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 // from the producer's staging area — the NVMe survives broker crashes — and
 // fall back to the shared-filesystem mirror when the device itself is gone.
 func (c *Client) fetchDegraded(p *sim.Proc, owner *Broker, path string, cause error) (vfs.Payload, error) {
-	if got, ok := owner.staging.Tree().Get(path); ok && !errors.Is(cause, faults.ErrDeviceFailed) {
+	if got, ok := owner.stagingGet(path); ok && !errors.Is(cause, faults.ErrDeviceFailed) {
 		start := p.Now()
 		if _, err := owner.node.SSD.Read(p, got.Size()); err == nil {
+			owner.stagingCap.MarkConsumed(path)
 			c.sys.cl.Transfer(p, owner.node, c.broker.node, got.Size())
 			c.sys.StagingReads++
 			c.sys.Recovery.DegradedReads++

@@ -122,9 +122,11 @@ func All() []Experiment {
 		{"fig12", "Fig 12: frame generation frequency scaling, STMV", Fig12},
 		{"ablation", "Extension: per-mechanism DYAD ablation study", Ablation},
 		{"straggler", "Extension: straggler fault injection", Straggler},
-		// faultsweep stays last: `all` output before it must remain a
-		// byte-identical prefix of output from older builds.
+		// Extensions append here, never reorder: `all` output up to each
+		// older build's last experiment must remain a byte-identical prefix
+		// of newer builds' output.
 		{"faultsweep", "Extension: fault injection and recovery sweep", FaultSweep},
+		{"capsweep", "Extension: finite burst-buffer capacity sweep", CapSweep},
 	}
 }
 

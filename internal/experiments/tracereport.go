@@ -37,8 +37,9 @@ func NewCollector() *Collector { return &Collector{} }
 // breakdownCols is the column set of the drained breakdown report. total is
 // movement+idle (the paper's production/consumption time); compute is the
 // modeled application time between them; recovery overlaps the others and
-// is zero on healthy runs.
-var breakdownCols = []string{"config", "role", "procs", "movement", "idle", "compute", "recovery", "total"}
+// is zero on healthy runs, as is backpressure (producer stalls waiting for
+// burst-buffer space) on runs without a finite capacity budget.
+var breakdownCols = []string{"config", "role", "procs", "movement", "idle", "compute", "recovery", "backpressure", "total"}
 
 // Add records every result in the batch that carries spans: one Chrome run
 // each, plus one producer and one consumer breakdown row. Results without
@@ -90,6 +91,7 @@ func breakdownRow(label, role string, profs []*caliper.Profile) []string {
 	return []string{
 		label, role, strconv.Itoa(len(profs)),
 		cell("movement"), cell("idle"), cell("compute"), cell("recovery"),
+		cell("backpressure"),
 		stats.FormatSeconds(total),
 	}
 }

@@ -48,6 +48,11 @@ const (
 	// backoff, failover, link stalls, degraded reads). Recovery spans
 	// overlap movement/idle spans and are reported as their own column.
 	ClassRecovery
+	// ClassBackpressure marks producer stalls against a full finite-capacity
+	// staging store (internal/capacity): the writer blocked until
+	// consumption or eviction freed space. Like recovery, back-pressure
+	// spans overlap movement spans and get their own breakdown column.
+	ClassBackpressure
 )
 
 // String returns the class name used in call paths and trace categories.
@@ -61,6 +66,8 @@ func (c Class) String() string {
 		return "compute"
 	case ClassRecovery:
 		return "recovery"
+	case ClassBackpressure:
+		return "backpressure"
 	default:
 		return "detail"
 	}

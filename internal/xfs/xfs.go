@@ -9,6 +9,7 @@ package xfs
 import (
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -50,6 +51,11 @@ type FS struct {
 	// journalLat is a sampled commit latency histogram (nil when no
 	// metrics registry is attached — Observe on nil is free).
 	journalLat *metrics.Histogram
+
+	// cap is the filesystem's finite byte budget; nil when capacity is off
+	// (the default), keeping every capacity hook behind one nil check so
+	// the unconstrained timeline is untouched.
+	cap *capacity.Store
 }
 
 // RegisterMetrics registers the filesystem's sampled series under prefix
@@ -71,6 +77,15 @@ func New(node *cluster.Node, params Params) *FS {
 	return &FS{node: node, params: params, tree: vfs.NewTree()}
 }
 
+// SetCapacity attaches a finite byte budget to the filesystem. Evicted
+// frames are removed from the file table; XFS has no shared mirror, so an
+// eviction always drops the data and later reads fail with
+// capacity.ErrEvicted. Pass nil to return to infinite capacity.
+func (f *FS) SetCapacity(s *capacity.Store) { f.cap = s }
+
+// Capacity returns the attached capacity store (nil when capacity is off).
+func (f *FS) Capacity() *capacity.Store { return f.cap }
+
 // Name implements vfs.FS.
 func (f *FS) Name() string { return "xfs" }
 
@@ -84,12 +99,22 @@ func (f *FS) Tree() *vfs.Tree { return f.tree }
 // The payload is stored by reference, never copied.
 func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Sleep(f.params.MetaLatency)
+	if f.cap != nil {
+		// Claim the bytes before paying any device cost: eviction or
+		// back-pressure happens here, and ErrNoSpace fails the write fast.
+		if err := f.cap.Reserve(p, vfs.Clean(path), pl.Size()); err != nil {
+			return vfs.PathError("write", path, err)
+		}
+	}
 	jStart := p.Now()
 	f.journalPending++
 	f.journalOps++
 	f.journalBytes += f.params.JournalBytes
 	if _, err := f.node.SSD.Write(p, f.params.JournalBytes); err != nil {
 		f.journalPending--
+		if f.cap != nil {
+			f.cap.Remove(vfs.Clean(path)) // roll back the reservation
+		}
 		return vfs.PathError("write", path, err)
 	}
 	f.journalPending--
@@ -97,6 +122,9 @@ func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "xfs", Name: "journal_commit",
 		Start: jStart, Dur: p.Now() - jStart, Bytes: f.params.JournalBytes, Attr: path})
 	if _, err := f.node.SSD.Write(p, pl.Size()); err != nil {
+		if f.cap != nil {
+			f.cap.Remove(vfs.Clean(path))
+		}
 		return vfs.PathError("write", path, err)
 	}
 	f.tree.Put(path, pl)
@@ -108,10 +136,29 @@ func (f *FS) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	p.Sleep(f.params.MetaLatency)
 	pl, ok := f.tree.Get(path)
 	if !ok {
+		if f.cap != nil && f.cap.State(vfs.Clean(path)) != capacity.StateUnknown {
+			// The frame existed and was evicted: XFS has no mirror, so the
+			// data is gone for good.
+			return vfs.Payload{}, vfs.PathError("read", path, capacity.ErrEvicted)
+		}
 		return vfs.Payload{}, vfs.PathError("read", path, vfs.ErrNotExist)
+	}
+	if f.cap != nil {
+		switch f.cap.State(vfs.Clean(path)) {
+		case capacity.StateSpilled, capacity.StateDropped:
+			// An eviction raced this frame's in-flight write: the victim scan
+			// ran between our reservation and the journal commit landing the
+			// entry in the tree. The budget already reclaimed the bytes, so
+			// reads must honor the tombstone.
+			f.tree.Remove(path)
+			return vfs.Payload{}, vfs.PathError("read", path, capacity.ErrEvicted)
+		}
 	}
 	if _, err := f.node.SSD.Read(p, pl.Size()); err != nil {
 		return vfs.Payload{}, vfs.PathError("read", path, err)
+	}
+	if f.cap != nil {
+		f.cap.MarkConsumed(vfs.Clean(path))
 	}
 	return pl, nil
 }
@@ -139,6 +186,9 @@ func (f *FS) Unlink(p *sim.Proc, path string) error {
 	}
 	if !f.tree.Remove(path) {
 		return vfs.PathError("unlink", path, vfs.ErrNotExist)
+	}
+	if f.cap != nil {
+		f.cap.Remove(vfs.Clean(path))
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -81,6 +82,34 @@ var (
 	ErrBrokerDown   = faults.ErrBrokerDown
 	ErrLinkDown     = faults.ErrLinkDown
 	ErrExhausted    = faults.ErrExhausted
+)
+
+// CapacitySpec bounds the burst buffer for a run; attach one to
+// Config.Capacity. The zero value (or a nil pointer) means infinite
+// capacity and leaves every timeline byte-identical to a build without the
+// capacity layer. See capacity.Spec for field semantics.
+type CapacitySpec = capacity.Spec
+
+// CapacityProvision is one scheduled capacity change (CapacitySpec.Plan).
+type CapacityProvision = capacity.Provision
+
+// CapacityMetrics counts evictions, spills, drops, and back-pressure
+// stalls; every Result carries one (Result.Capacity).
+type CapacityMetrics = capacity.Metrics
+
+// Eviction policy names for CapacitySpec.Policy.
+const (
+	PolicyLRU          = capacity.PolicyLRU
+	PolicyConsumedDrop = capacity.PolicyConsumedDrop
+)
+
+// Capacity sentinels: a write that cannot fit even after evicting returns
+// an error chain wrapping ErrNoSpace; a read of an evicted-and-unspilled
+// frame wraps ErrEvicted (possibly via ErrExhausted after the degraded-read
+// ladder).
+var (
+	ErrNoSpace = capacity.ErrNoSpace
+	ErrEvicted = capacity.ErrEvicted
 )
 
 // Run executes one workflow run.

@@ -88,11 +88,30 @@ cmp "$TRACETMP/bm.csv" "$TRACETMP/sm.csv"
 cmp "$TRACETMP/bt.json" "$TRACETMP/st2.json"
 cmp "$TRACETMP/bm.csv" "$TRACETMP/bm2.csv"
 
-echo "== zero-alloc gate: tracing/metrics-off allocation budget =="
-# The span-tracer and metrics hooks must be free when disabled: the delta
-# tests scale event/op counts ~100x and require zero extra allocations
-# (run without -race; race instrumentation allocates).
-go test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/cluster/ ./internal/metrics/
+echo "== capacity smoke: experiments capsweep -quick (race) =="
+# The finite burst-buffer matrix must complete — every starved run either
+# spills, stalls, or dies with a wrapped capacity sentinel; no panics,
+# hangs, or data races (DESIGN.md §3i).
+go run -race ./cmd/experiments -quick -q capsweep
+
+echo "== capacity invisibility: capacities off are byte-identical at any -j/-pdes-j =="
+# With every capacity infinite (the default), the capacity layer must be
+# invisible: the full quick sweep produces identical bytes serial, parallel,
+# and sharded. (The PR that introduced the capacity layer additionally
+# checked these bytes against the preserved pre-PR binary via cmp; that
+# binary is not archived in-repo, so the ongoing gate is cross-worker
+# identity plus the golden fixtures, which pin the capacity-off timeline.)
+"$TRACETMP/experiments" -quick -q -j 1 all > "$TRACETMP/cap_j1.txt"
+"$TRACETMP/experiments" -quick -q -j 8 all > "$TRACETMP/cap_j8.txt"
+"$TRACETMP/experiments" -quick -q -j 8 -pdes-j 8 all > "$TRACETMP/cap_pdes8.txt"
+cmp "$TRACETMP/cap_j1.txt" "$TRACETMP/cap_j8.txt"
+cmp "$TRACETMP/cap_j1.txt" "$TRACETMP/cap_pdes8.txt"
+
+echo "== zero-alloc gate: tracing/metrics/capacity-off allocation budget =="
+# The span-tracer, metrics hooks, and capacity layer must be free when
+# disabled: the delta tests scale event/op counts ~100x and require zero
+# extra allocations (run without -race; race instrumentation allocates).
+go test -run 'ZeroAllocs' -count=1 ./internal/sim/ ./internal/cluster/ ./internal/metrics/ ./internal/capacity/
 
 echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./... =="
 # One iteration of every benchmark: catches benchmarks that panic or hang
