@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick      = fs.Bool("quick", false, "reduced sweep for smoke runs")
 		workers    = fs.Int("j", 0, "parallel simulation workers (0 = one per core); results are identical for any -j")
 		pdesJ      = fs.Int("pdes-j", 0, "intra-run event-queue shards (parallel discrete-event engine; 0 or 1 = serial); output is byte-identical for any -pdes-j")
+		headstart  = fs.Duration("headstart", 0, "producer job head start over each consumer (paper launch protocol; 0 = none, byte-identical to builds without the knob; 'calibrate' fits it)")
+		budget     = fs.Int("budget", 0, "calibrate/search evaluation budget (0 = default)")
 		asJSON     = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 		asCSV      = fs.Bool("csv", false, "emit report tables as CSV (for plotting)")
 		outPath    = fs.String("o", "", "write output to file instead of stdout")
@@ -69,6 +71,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Up-front flag validation: a nonsensical count is a usage error (exit
+	// 2, one line, stderr only) before any simulation starts. `-reps 0`
+	// must be distinguished from an omitted -reps (0 = paper default), so
+	// explicit zeros are detected via Visit.
+	explicitZero := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if (f.Name == "reps" || f.Name == "frames") && f.Value.String() == "0" {
+			explicitZero[f.Name] = true
+		}
+	})
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "experiments: "+format+"\n", args...)
+		return 2
+	}
+	switch {
+	case *reps < 0 || explicitZero["reps"]:
+		return usage("-reps must be a positive integer (got %d); omit the flag for the paper default", *reps)
+	case *frames < 0 || explicitZero["frames"]:
+		return usage("-frames must be a positive integer (got %d); omit the flag for the paper default", *frames)
+	case *workers < 0:
+		return usage("-j must be >= 0 (got %d); 0 means one worker per core", *workers)
+	case *pdesJ < 0:
+		return usage("-pdes-j must be >= 0 (got %d); 0 or 1 means the serial engine", *pdesJ)
+	case *headstart < 0:
+		return usage("-headstart must be >= 0 (got %v)", *headstart)
+	case *budget < 0:
+		return usage("-budget must be >= 0 (got %d); 0 means the default budget", *budget)
+	}
+
 	if *list {
 		for _, e := range repro.Experiments() {
 			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
@@ -81,6 +112,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "experiments: no experiment ids given (try -list, or 'all')")
 		return 2
 	}
+
+	// calibrate/search are subcommands, not experiments: they never join
+	// the append-only experiment list, so `all` output stays a stable
+	// prefix across builds.
+	if ids[0] == "calibrate" || ids[0] == "search" {
+		if *asJSON || *asCSV {
+			return usage("%s emits a text report only; -json/-csv are not supported", ids[0])
+		}
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		co := repro.CalibOptions{
+			Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick,
+			Workers: *workers, ShardWorkers: *pdesJ, Budget: *budget,
+		}
+		return runCalibSubcommand(ids[0], ids[1:], co, out, stderr, *quiet)
+	}
+
 	for _, id := range ids {
 		if id == "all" {
 			ids = ids[:0]
@@ -101,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = f
 	}
 
-	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers, ShardWorkers: *pdesJ}
+	opts := repro.ExperimentOptions{Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick, Workers: *workers, ShardWorkers: *pdesJ, ConsumerHeadStart: *headstart}
 	if *traceOut != "" && *traceStrm != "" {
 		return fatal(errors.New("-trace and -trace-stream are mutually exclusive"))
 	}

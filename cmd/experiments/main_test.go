@@ -123,6 +123,88 @@ func TestErrorsGoToStderr(t *testing.T) {
 	}
 }
 
+// Nonsense counts are usage errors caught before any simulation: exit 2,
+// one line on stderr, nothing on stdout. An explicit -reps 0 is rejected
+// (0 only means "paper default" when the flag is omitted).
+func TestFlagValidationUpFront(t *testing.T) {
+	cases := [][]string{
+		{"-reps", "0", "table1"},
+		{"-reps", "-3", "table1"},
+		{"-frames", "0", "fig5"},
+		{"-frames", "-1", "fig5"},
+		{"-j", "-2", "table1"},
+		{"-pdes-j", "-1", "table1"},
+		{"-headstart", "-5ms", "fig5"},
+		{"-budget", "-1", "calibrate"},
+	}
+	for _, args := range cases {
+		code, out, errOut := capture(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+		if out != "" {
+			t.Errorf("%v: usage error leaked to stdout: %q", args, out)
+		}
+		if !strings.HasPrefix(errOut, "experiments: ") || strings.Count(errOut, "\n") != 1 {
+			t.Errorf("%v: want one 'experiments: ...' line on stderr, got %q", args, errOut)
+		}
+	}
+	// Omitted -reps/-frames still mean the paper defaults.
+	if code, _, errOut := capture(t, "-q", "table1"); code != 0 {
+		t.Fatalf("defaults rejected: exit %d, stderr %s", code, errOut)
+	}
+}
+
+func TestCalibrateSmoke(t *testing.T) {
+	code, out, errOut := capture(t, "-q", "-quick", "-reps", "1", "-frames", "8", "-budget", "2", "calibrate")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if errOut != "" {
+		t.Fatalf("-q left stderr output: %q", errOut)
+	}
+	for _, want := range []string{"== calibrate", "fitted parameters:", "headstart", "fig5.cons_total.xfs_over_dyad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fit report missing %q:\n%s", want, out)
+		}
+	}
+	// Subcommand misuse is a usage error.
+	if code, _, _ := capture(t, "calibrate", "extra"); code != 2 {
+		t.Errorf("calibrate with extra args: exit %d, want 2", code)
+	}
+	if code, _, _ := capture(t, "-json", "calibrate"); code != 2 {
+		t.Errorf("-json calibrate: exit %d, want 2", code)
+	}
+}
+
+func TestSearchSmoke(t *testing.T) {
+	code, out, errOut := capture(t, "-q", "-quick", "-reps", "1", "-frames", "8", "-budget", "2", "search", "xfs-beats-dyad")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if errOut != "" {
+		t.Fatalf("-q left stderr output: %q", errOut)
+	}
+	if !strings.Contains(out, "== search:xfs-beats-dyad") {
+		t.Fatalf("search report missing header:\n%s", out)
+	}
+	// No goal: usage error listing the goals on stderr.
+	code, out, errOut = capture(t, "search")
+	if code != 2 || out != "" {
+		t.Fatalf("bare search: exit %d stdout %q", code, out)
+	}
+	for _, want := range []string{"xfs-beats-dyad", "fault-breaks-10x"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("goal listing missing %q: %s", want, errOut)
+		}
+	}
+	// Unknown goal: runtime error, exit 1, stderr only.
+	code, out, errOut = capture(t, "search", "no-such-goal")
+	if code != 1 || out != "" || !strings.Contains(errOut, "unknown search goal") {
+		t.Fatalf("unknown goal: exit %d stdout %q stderr %q", code, out, errOut)
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

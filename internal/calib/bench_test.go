@@ -1,0 +1,27 @@
+package calib
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkCalibrateEval times one objective evaluation — the unit the
+// fit budget is denominated in — on a reduced protocol (1 rep, 8 frames)
+// so the ledger tracks optimizer-loop cost, not paper-scale simulation.
+func BenchmarkCalibrateEval(b *testing.B) {
+	space := DefaultSpace()
+	o := Options{Quick: true, Reps: 1, Frames: 8}.Defaults()
+	eo := experiments.Options{Reps: o.Reps, Frames: o.Frames, Seed: o.Seed, Quick: true}
+	tune := space.Tune(space.defaults())
+	targets := Targets(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := experiments.MeasureCalibration(eo, tune, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		objective(ms, targets)
+	}
+}

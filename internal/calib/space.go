@@ -1,0 +1,191 @@
+// Package calib closes the loop between the simulator and the paper: it
+// fits the cost-model parameters (SSD latency/bandwidth, NIC overhead,
+// fabric hop latency, KVS commit cost, and the consumer head start the
+// paper's job-launch protocol implies) against the published Table I–II
+// derivations and Fig 5–7 headline ratios, and searches scenario space for
+// qualitative predicates ("find a configuration where XFS beats DYAD",
+// "the minimum fault rate that breaks the 10x win").
+//
+// Everything here is deterministic: the coarse grid, the pseudo-random
+// probes, and the Nelder–Mead refinement are pure functions of (space,
+// options), and every simulation underneath is byte-identical at any
+// worker count — so a fit report is byte-identical between -j 1 and -j 8.
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dyad"
+)
+
+// Names of the tunable dimensions that live outside cluster.Spec.
+const (
+	// ParamKVSCommit is DYAD's KVS commit service time in seconds
+	// (dyad.Params.KVS.CommitService) — the metadata-registration cost
+	// behind the paper's 1.4x production-overhead headline.
+	ParamKVSCommit = "kvs.commit"
+	// ParamHeadStart is the producer job's head start over its consumer in
+	// seconds (core.Config.ConsumerHeadStart) — the launch-protocol delay
+	// behind the Fig 5–7 consumption-ratio headlines.
+	ParamHeadStart = "headstart"
+)
+
+// Param is one tunable dimension of a Space.
+type Param struct {
+	// Name is a cluster spec parameter (cluster.SpecParamNames),
+	// ParamKVSCommit, or ParamHeadStart.
+	Name string
+	// Lo and Hi bound the search, inclusive, in the parameter's SI unit.
+	Lo, Hi float64
+	// Levels is the number of coarse-grid points along this axis
+	// (0 defaults to 3).
+	Levels int
+}
+
+// levels returns the effective grid resolution.
+func (p Param) levels() int {
+	if p.Levels == 0 {
+		return 3
+	}
+	return p.Levels
+}
+
+// Space is the set of parameters a calibration run may move.
+type Space struct {
+	Params []Param
+}
+
+// DefaultSpace brackets every tunable around its current default with
+// generous room on both sides. The head start gets the finest grid: it is
+// the axis the Fig 5 gap lives on.
+func DefaultSpace() Space {
+	return Space{Params: []Param{
+		{Name: cluster.ParamSSDReadBW, Lo: 1.5e9, Hi: 6e9},
+		{Name: cluster.ParamSSDWriteBW, Lo: 1e9, Hi: 4e9},
+		{Name: cluster.ParamSSDReadLat, Lo: 20e-6, Hi: 240e-6},
+		{Name: cluster.ParamSSDWriteLat, Lo: 20e-6, Hi: 320e-6},
+		{Name: cluster.ParamNICOverhead, Lo: 1e-6, Hi: 12e-6},
+		{Name: cluster.ParamFabricHopLat, Lo: 0.3e-6, Hi: 4.8e-6},
+		{Name: ParamKVSCommit, Lo: 35e-6, Hi: 560e-6},
+		{Name: ParamHeadStart, Lo: 0, Hi: 1.0, Levels: 9},
+	}}
+}
+
+// Validate rejects spaces the optimizer cannot search: unknown or
+// duplicate names, inverted/NaN/Inf bounds, negative grid resolution.
+func (s Space) Validate() error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("calib: empty space")
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if !cluster.IsSpecParam(p.Name) && p.Name != ParamKVSCommit && p.Name != ParamHeadStart {
+			known := append(cluster.SpecParamNames(), ParamKVSCommit, ParamHeadStart)
+			sort.Strings(known)
+			return fmt.Errorf("calib: unknown parameter %q (have %v)", p.Name, known)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("calib: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+		if math.IsNaN(p.Lo) || math.IsNaN(p.Hi) || math.IsInf(p.Lo, 0) || math.IsInf(p.Hi, 0) {
+			return fmt.Errorf("calib: %s: bounds must be finite, got [%g, %g]", p.Name, p.Lo, p.Hi)
+		}
+		if p.Lo >= p.Hi {
+			return fmt.Errorf("calib: %s: inverted or empty bounds [%g, %g]", p.Name, p.Lo, p.Hi)
+		}
+		if p.Levels < 0 {
+			return fmt.Errorf("calib: %s: negative grid levels %d", p.Name, p.Levels)
+		}
+	}
+	return nil
+}
+
+// defaults returns the space's center point: each parameter's current
+// simulator default, clamped into bounds.
+func (s Space) defaults() []float64 {
+	spec := cluster.CoronaProfile(1)
+	dy := dyad.DefaultParams()
+	pt := make([]float64, len(s.Params))
+	for i, p := range s.Params {
+		var v float64
+		switch p.Name {
+		case ParamKVSCommit:
+			v = dy.KVS.CommitService.Seconds()
+		case ParamHeadStart:
+			v = 0
+		default:
+			var err error
+			if v, err = spec.Param(p.Name); err != nil {
+				panic(err) // unreachable: Validate vetted the name
+			}
+		}
+		pt[i] = clamp(v, p.Lo, p.Hi)
+	}
+	return pt
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// clampPoint bounds every coordinate of pt in place and returns it.
+func (s Space) clampPoint(pt []float64) []float64 {
+	for i, p := range s.Params {
+		pt[i] = clamp(pt[i], p.Lo, p.Hi)
+	}
+	return pt
+}
+
+// Tune compiles a point into the hook MeasureCalibration threads through
+// every run: spec parameters go through Config.SpecTune, the KVS commit
+// cost through a DYADOverride, and the head start through
+// Config.ConsumerHeadStart. A point equal to defaults() with zero head
+// start leaves configs byte-identical to an untuned run.
+func (s Space) Tune(pt []float64) func(core.Config) core.Config {
+	if len(pt) != len(s.Params) {
+		panic(fmt.Sprintf("calib: point has %d coordinates, space has %d", len(pt), len(s.Params)))
+	}
+	var specNames []string
+	var specVals []float64
+	commit, head := math.NaN(), math.NaN()
+	for i, p := range s.Params {
+		switch p.Name {
+		case ParamKVSCommit:
+			commit = pt[i]
+		case ParamHeadStart:
+			head = pt[i]
+		default:
+			specNames = append(specNames, p.Name)
+			specVals = append(specVals, pt[i])
+		}
+	}
+	return func(c core.Config) core.Config {
+		if len(specNames) > 0 {
+			c.SpecTune = func(sp *cluster.Spec) {
+				for i, name := range specNames {
+					if err := sp.SetParam(name, specVals[i]); err != nil {
+						panic(err) // unreachable: bounds are validated positive finite
+					}
+				}
+			}
+		}
+		if !math.IsNaN(commit) {
+			params := dyad.DefaultParams()
+			if c.DYADOverride != nil {
+				params = *c.DYADOverride
+			}
+			params.KVS.CommitService = time.Duration(math.Round(commit * float64(time.Second)))
+			c.DYADOverride = &params
+		}
+		if !math.IsNaN(head) {
+			c.ConsumerHeadStart = time.Duration(math.Round(head * float64(time.Second)))
+		}
+		return c
+	}
+}

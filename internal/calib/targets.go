@@ -1,0 +1,45 @@
+package calib
+
+// Target is one published paper number the objective pulls toward,
+// joined to a measurement by name (experiments.MeasureCalibration emits
+// the measured side under the same names).
+type Target struct {
+	Name  string
+	Paper float64
+	// Weight scales this target's share of the objective. The table
+	// derivations are workload bookkeeping (they cannot move under a
+	// hardware tune, but anchor the objective against a fit that breaks
+	// the workload); the figure ratios are the numbers the paper is about.
+	Weight float64
+}
+
+// Targets returns the paper-number fixture: Table I frame sizes (KiB),
+// Table II generation frequencies (seconds), and the Fig 5–6 headline
+// ratios; full adds Fig 7. Values are transcribed from the paper
+// (§IV, Tables I–II, Figures 5–7).
+func Targets(full bool) []Target {
+	t := []Target{
+		{"table1.frame_kib.JAC", 644.21, 0.25},
+		{"table1.frame_kib.ApoA1", 2.46 * 1024, 0.25},
+		{"table1.frame_kib.F1 ATPase", 8.75 * 1024, 0.25},
+		{"table1.frame_kib.STMV", 28.48 * 1024, 0.25},
+		{"table2.freq_s.JAC", 0.82, 0.25},
+		{"table2.freq_s.ApoA1", 0.82, 0.25},
+		{"table2.freq_s.F1 ATPase", 0.82, 0.25},
+		{"table2.freq_s.STMV", 0.82, 0.25},
+		{"fig5.prod_total.dyad_over_xfs", 1.4, 1},
+		{"fig5.cons_move.dyad_over_xfs", 1.4, 1},
+		{"fig5.cons_total.xfs_over_dyad", 192.9, 1},
+		{"fig6.prod_move.lustre_over_dyad", 7.5, 1},
+		{"fig6.cons_move.lustre_over_dyad", 6.9, 1},
+		{"fig6.cons_total.lustre_over_dyad", 197.4, 1},
+	}
+	if full {
+		t = append(t,
+			Target{"fig7.prod_move.lustre_over_dyad", 5.3, 1},
+			Target{"fig7.cons_move.lustre_over_dyad", 5.8, 1},
+			Target{"fig7.cons_total.lustre_over_dyad", 192.0, 1},
+		)
+	}
+	return t
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/capacity"
+	"repro/internal/cluster"
 	"repro/internal/dyad"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -113,6 +114,24 @@ type Config struct {
 	// ablation study to disable individual DYAD mechanisms. Ignored for
 	// other backends.
 	DYADOverride *dyad.Params
+	// ConsumerHeadStart delays every consumer process's start by this much
+	// virtual time — the producer job's head start over the consumer job.
+	// Real coarse-grained workflows routinely launch the producer first, so
+	// the consumer's first-frame pipeline-fill wait (one production period
+	// for DYAD's loose coupling) shrinks by the head start. The calibration
+	// harness (internal/calib) fits this value against the paper's Figure
+	// 5–7 consumption ratios. The delay is job-launch scheduling, not
+	// measured production or consumption time: it appears as a detail span
+	// (job_start_delay) and in no movement/idle column. Zero (the default)
+	// is byte-identical to a build without the knob.
+	ConsumerHeadStart time.Duration
+	// SpecTune, when non-nil, adjusts the hardware profile after the
+	// placement-derived CoronaProfile is built and before any device is
+	// constructed — the calibration hook for perturbing cost-model
+	// parameters (cluster.Spec.SetParam) without forking profiles. It must
+	// be deterministic (a pure function of the spec) and cheap; it runs once
+	// per run. Nil (the default) leaves the profile untouched.
+	SpecTune func(*cluster.Spec)
 	// ForceCoarseSync applies the traditional backends' coarse-grained,
 	// serialized producer/consumer coupling to DYAD runs too. It isolates
 	// the value of DYAD's loose coupling: with it set, DYAD keeps its fast
@@ -272,6 +291,9 @@ func (c Config) Validate() error {
 				return fmt.Errorf("core: Capacity.CacheBytes is a DYAD consumer-cache budget; backend is %s", c.Backend)
 			}
 		}
+	}
+	if c.ConsumerHeadStart < 0 {
+		return fmt.Errorf("core: ConsumerHeadStart %v < 0", c.ConsumerHeadStart)
 	}
 	if c.MaxEvents < 0 {
 		return fmt.Errorf("core: MaxEvents %d < 0", c.MaxEvents)

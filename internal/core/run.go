@@ -100,6 +100,12 @@ func newRig(cfg Config, pool *runPool) *rig {
 	// Worst-case queue depth per device: every process on a node blocked on
 	// the same resource.
 	spec.QueueHint = 2 * MaxProcsPerNode
+	if cfg.SpecTune != nil {
+		// Calibration hook. Must run before pool.take: the pool hands out a
+		// recycled cluster only when the (already tuned) spec matches by
+		// value, so a tuned run can never inherit an untuned cluster.
+		cfg.SpecTune(&spec)
+	}
 	eng, cl, reg := pool.take(cfg, spec)
 	if eng == nil {
 		eng = sim.NewEngine(cfg.Seed)
@@ -423,6 +429,16 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		fs = r.xf
 	case Lustre:
 		fs = r.lfs.Client(r.consumerNode(pair))
+	}
+
+	if r.cfg.ConsumerHeadStart > 0 {
+		// Producer job head start: the workflow manager launched this
+		// consumer job ConsumerHeadStart after the producers. Job-launch
+		// scheduling, not consumption — no caliper region, so it lands in
+		// neither the movement nor the idle column of the §IV-C split.
+		start := p.Now()
+		p.Sleep(r.cfg.ConsumerHeadStart)
+		emitSpan(p, "job_start_delay", trace.ClassDetail, start)
 	}
 
 	for f := 0; f < r.cfg.Frames; f++ {

@@ -86,10 +86,13 @@ func Ablation(o Options) (*Report, error) {
 		return stats.Ratio(aggs[name].ConsTotalMean(), fullAgg.ConsTotalMean())
 	}
 	r.Notes = append(r.Notes,
-		fmt.Sprintf("consumption slowdown vs full DYAD — -adaptive-sync: %.2fx, -burst-buffer: %.2fx, -direct-transfer: %.2fx, -all-three: %.2fx, +coarse-sync: %.1fx, Lustre: %.1fx",
-			slowdown("DYAD -adaptive-sync"), slowdown("DYAD -burst-buffer"),
-			slowdown("DYAD -direct-transfer"), slowdown("DYAD -all-three"),
-			slowdown("DYAD +coarse-sync"), slowdown("Lustre")),
+		fmt.Sprintf("consumption slowdown vs full DYAD — -adaptive-sync: %s, -burst-buffer: %s, -direct-transfer: %s, -all-three: %s, +coarse-sync: %s, Lustre: %s",
+			stats.FormatRatioPrec(slowdown("DYAD -adaptive-sync"), 2),
+			stats.FormatRatioPrec(slowdown("DYAD -burst-buffer"), 2),
+			stats.FormatRatioPrec(slowdown("DYAD -direct-transfer"), 2),
+			stats.FormatRatioPrec(slowdown("DYAD -all-three"), 2),
+			stats.FormatRatioPrec(slowdown("DYAD +coarse-sync"), 1),
+			stats.FormatRatioPrec(slowdown("Lustre"), 1)),
 		"the transport mechanisms matter at the percent level; losing the loose coupling (+coarse-sync) costs orders of magnitude — the synchronization model, not the transport, drives the paper's headline gaps",
 	)
 	return r, nil

@@ -117,8 +117,9 @@ func CapSweep(o Options) (*Report, error) {
 			cfg := core.Config{
 				Backend: s.backend, Model: jac, Pairs: s.pairs,
 				SingleNode: s.single, Frames: o.Frames,
-				ComputeJitter: 0.004,
-				ShardWorkers:  o.ShardWorkers,
+				ComputeJitter:     0.004,
+				ShardWorkers:      o.ShardWorkers,
+				ConsumerHeadStart: o.ConsumerHeadStart,
 			}
 			switch s.backend {
 			case core.Lustre:
@@ -145,7 +146,8 @@ func CapSweep(o Options) (*Report, error) {
 	addCell(nospaceKey, core.Config{
 		Backend: core.XFS, Model: jac, Pairs: pairsXFS, SingleNode: true,
 		Frames: o.Frames, ComputeJitter: 0.004, ShardWorkers: o.ShardWorkers,
-		Capacity: &capacity.Spec{StagingBytes: frame / 2},
+		ConsumerHeadStart: o.ConsumerHeadStart,
+		Capacity:          &capacity.Spec{StagingBytes: frame / 2},
 	}, "cap XFS half-frame")
 
 	results, err := core.RunMany(cfgs, o.Workers)

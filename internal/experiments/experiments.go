@@ -39,6 +39,12 @@ type Options struct {
 	// -pdes-j flag). Like Workers, it never changes results — output is
 	// byte-identical at any value; 0 or 1 is the serial engine.
 	ShardWorkers int
+	// ConsumerHeadStart gives every producer job this much head start over
+	// its consumer (core.Config.ConsumerHeadStart, the -headstart flag).
+	// The paper's protocol launches producers first; calibration fits this
+	// delay. Zero — the default — is byte-identical to builds without the
+	// knob.
+	ConsumerHeadStart time.Duration
 	// Trace, when non-nil, enables span tracing on one repetition of each
 	// configuration and collects the traces for Chrome export plus
 	// per-experiment breakdown reports. Recording is observation-only:
@@ -215,6 +221,11 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 	cfg.Frames = o.Frames
 	cfg.Seed = o.Seed
 	cfg.ShardWorkers = o.ShardWorkers
+	if cfg.ConsumerHeadStart == 0 {
+		// Option-level default only: a calibration tune hook that already
+		// set the per-config head start wins over the -headstart flag.
+		cfg.ConsumerHeadStart = o.ConsumerHeadStart
+	}
 	cfg.ComputeJitter = 0.004
 	if cfg.Backend == core.Lustre {
 		cfg.LustreNoise = true
@@ -262,9 +273,10 @@ func fmtMS(s stats.Summary) string {
 
 func fmtDur(d time.Duration) string { return stats.FormatSeconds(d.Seconds()) }
 
-// ratioNote formats a paper-vs-measured headline comparison.
+// ratioNote formats a paper-vs-measured headline comparison. An undefined
+// measured ratio (zero or fault-killed baseline) renders as "n/a".
 func ratioNote(what string, paper float64, measured float64) string {
-	return fmt.Sprintf("%s: paper %.1fx, measured %.1fx", what, paper, measured)
+	return fmt.Sprintf("%s: paper %.1fx, measured %s", what, paper, stats.FormatRatioPrec(measured, 1))
 }
 
 // aggRow renders one aggregate as a standard row tail:

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -63,10 +64,11 @@ func FaultSweep(o Options) (*Report, error) {
 				cfg := core.Config{
 					Backend: s.backend, Model: jac, Pairs: s.pairs,
 					SingleNode: s.single, Frames: o.Frames,
-					Seed:          o.Seed + uint64(rep)*0x9e3779b9,
-					ComputeJitter: 0.004,
-					ShardWorkers:  o.ShardWorkers,
-					Faults:        &spec,
+					Seed:              o.Seed + uint64(rep)*0x9e3779b9,
+					ComputeJitter:     0.004,
+					ShardWorkers:      o.ShardWorkers,
+					ConsumerHeadStart: o.ConsumerHeadStart,
+					Faults:            &spec,
 				}
 				switch s.backend {
 				case core.Lustre:
@@ -143,10 +145,12 @@ func FaultSweep(o Options) (*Report, error) {
 		c.recovery += res.Recovery.RecoveryTime.Seconds()
 		c.inj += float64(res.Recovery.Injected)
 	}
-	// meanMakespan is the per-cell mean over surviving reps (NaN if none).
+	// meanMakespan is the per-cell mean over surviving reps (NaN if none —
+	// a cell with no survivors has no defined makespan, and downstream
+	// ratios over it must render "n/a", not divide-by-zero garbage).
 	meanMakespan := func(c *cell) float64 {
 		if c.ok == 0 {
-			return 0
+			return math.NaN()
 		}
 		return c.makespan / float64(c.ok)
 	}
@@ -173,14 +177,16 @@ func FaultSweep(o Options) (*Report, error) {
 		}
 	}
 
+	// The headline is always emitted: a backend whose every rep died at
+	// some rate reports "n/a" for its inflation instead of vanishing.
 	last := len(rates) - 1
 	dy0, dy4 := cells[key{0, 0}], cells[key{0, last}]
 	lu0, lu4 := cells[key{2, 0}], cells[key{2, last}]
-	if dy0.ok > 0 && dy4.ok > 0 && lu0.ok > 0 && lu4.ok > 0 {
-		r.Notes = append(r.Notes, fmt.Sprintf(
-			"makespan inflation at %gx faults — DYAD: %.2fx, Lustre: %.2fx",
-			rates[last], meanMakespan(dy4)/meanMakespan(dy0), meanMakespan(lu4)/meanMakespan(lu0)))
-	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"makespan inflation at %gx faults — DYAD: %s, Lustre: %s",
+		rates[last],
+		stats.FormatRatioPrec(stats.Ratio(meanMakespan(dy4), meanMakespan(dy0)), 2),
+		stats.FormatRatioPrec(stats.Ratio(meanMakespan(lu4), meanMakespan(lu0)), 2)))
 	xfsFailed := 0
 	for ri := range rates {
 		xfsFailed += cells[key{1, ri}].failed

@@ -37,8 +37,9 @@ func Straggler(o Options) (*Report, error) {
 			cfg := core.Config{
 				Backend: b, Model: jac, Pairs: pairs,
 				Frames: o.Frames, Seed: o.Seed, ComputeJitter: 0.004,
-				ShardWorkers: o.ShardWorkers,
-				KeepProfiles: true,
+				ShardWorkers:      o.ShardWorkers,
+				ConsumerHeadStart: o.ConsumerHeadStart,
+				KeepProfiles:      true,
 			}
 			if b == core.Lustre {
 				cfg.LustreNoise = true
@@ -80,18 +81,20 @@ func Straggler(o Options) (*Report, error) {
 		r.Rows = append(r.Rows, []string{
 			k.b.String(), fmt.Sprintf("%v", k.injected),
 			stats.FormatSeconds(mean), stats.FormatSeconds(worst),
-			stats.FormatRatio(worst / mean),
+			stats.FormatRatio(stats.Ratio(worst, mean)),
 		})
 	}
 
 	dyHealthy, dyBad := results[key{core.DYAD, false}], results[key{core.DYAD, true}]
 	luHealthy, luBad := results[key{core.Lustre, false}], results[key{core.Lustre, true}]
 	r.Notes = append(r.Notes,
-		fmt.Sprintf("relative worst-pair inflation — DYAD: %.2fx, Lustre: %.2fx; absolute worst-pair slowdown — DYAD: +%s, Lustre: +%s",
-			dyBad[1]/dyHealthy[1], luBad[1]/luHealthy[1],
+		fmt.Sprintf("relative worst-pair inflation — DYAD: %s, Lustre: %s; absolute worst-pair slowdown — DYAD: +%s, Lustre: +%s",
+			stats.FormatRatioPrec(stats.Ratio(dyBad[1], dyHealthy[1]), 2),
+			stats.FormatRatioPrec(stats.Ratio(luBad[1], luHealthy[1]), 2),
 			stats.FormatSeconds(dyBad[1]-dyHealthy[1]), stats.FormatSeconds(luBad[1]-luHealthy[1])),
-		fmt.Sprintf("mean inflation — DYAD: %.2fx, Lustre: %.2fx",
-			dyBad[0]/dyHealthy[0], luBad[0]/luHealthy[0]),
+		fmt.Sprintf("mean inflation — DYAD: %s, Lustre: %s",
+			stats.FormatRatioPrec(stats.Ratio(dyBad[0], dyHealthy[0]), 2),
+			stats.FormatRatioPrec(stats.Ratio(luBad[0], luHealthy[0]), 2)),
 		"DYAD feels the straggler (it actually uses the degraded node-local device) but stays ~100x faster overall; Lustre hides it inside synchronization idle that is already two orders of magnitude larger",
 		"extends the paper: fault injection; not a paper figure",
 	)

@@ -132,11 +132,17 @@ func Ratio(a, b float64) float64 {
 }
 
 // FormatRatio renders a speedup ratio as the paper does ("5.3x").
-func FormatRatio(r float64) string {
+func FormatRatio(r float64) string { return FormatRatioPrec(r, 1) }
+
+// FormatRatioPrec renders a ratio with prec decimal places. Undefined
+// ratios — NaN or ±Inf, as produced by dividing through a zero or
+// fault-killed baseline — render as "n/a" instead of leaking "NaNx" or
+// "+Infx" into reports.
+func FormatRatioPrec(r float64, prec int) string {
 	if math.IsNaN(r) || math.IsInf(r, 0) {
 		return "n/a"
 	}
-	return fmt.Sprintf("%.1fx", r)
+	return fmt.Sprintf("%.*fx", prec, r)
 }
 
 // FormatSeconds renders a duration in engineering units matching the

@@ -72,6 +72,20 @@ func TestRatioAndFormat(t *testing.T) {
 	}
 }
 
+func TestFormatRatioPrec(t *testing.T) {
+	if got := FormatRatioPrec(1.2345, 2); got != "1.23x" {
+		t.Fatalf("FormatRatioPrec(1.2345, 2) = %q", got)
+	}
+	if got := FormatRatioPrec(192.9, 1); got != "192.9x" {
+		t.Fatalf("FormatRatioPrec(192.9, 1) = %q", got)
+	}
+	for _, r := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := FormatRatioPrec(r, 2); got != "n/a" {
+			t.Fatalf("FormatRatioPrec(%v, 2) = %q, want n/a", r, got)
+		}
+	}
+}
+
 func TestFormatSeconds(t *testing.T) {
 	cases := map[float64]string{
 		0:       "0",

@@ -26,6 +26,7 @@ package repro
 import (
 	"io"
 
+	"repro/internal/calib"
 	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -235,3 +236,54 @@ func RunExperiment(id string, o ExperimentOptions) (*ExperimentReport, error) {
 
 // RenderReport writes a report as an aligned text table.
 func RenderReport(w io.Writer, r *ExperimentReport) { r.Render(w) }
+
+// CalibSpace is the set of cost-model parameters a calibration may move;
+// CalibParam is one bounded dimension of it. See calib.Space.
+type (
+	CalibSpace = calib.Space
+	CalibParam = calib.Param
+)
+
+// CalibOptions tune a calibration or scenario-search run.
+type CalibOptions = calib.Options
+
+// CalibFit is a completed calibration: fitted parameters, objective, and
+// the measurements backing them. Render writes the deterministic fit
+// report (byte-identical at any worker count).
+type CalibFit = calib.Fit
+
+// CalibTarget is one published paper number the objective fits toward.
+type CalibTarget = calib.Target
+
+// CalibGoal is one scenario-search predicate.
+type CalibGoal = calib.Goal
+
+// Names of the calibration dimensions that live outside the hardware
+// spec: DYAD's KVS commit cost and the consumer head start.
+const (
+	CalibParamKVSCommit = calib.ParamKVSCommit
+	CalibParamHeadStart = calib.ParamHeadStart
+)
+
+// DefaultCalibSpace brackets every tunable cost-model parameter around
+// its current default.
+func DefaultCalibSpace() CalibSpace { return calib.DefaultSpace() }
+
+// Calibrate fits space against the paper's Tables I–II and Figs 5–7
+// headline numbers; deterministic for any worker count.
+func Calibrate(space CalibSpace, o CalibOptions) (*CalibFit, error) {
+	return calib.Calibrate(space, o)
+}
+
+// CalibTargets returns the paper-number fixture the objective fits
+// against (full adds Fig 7).
+func CalibTargets(full bool) []CalibTarget { return calib.Targets(full) }
+
+// CalibGoals lists the scenario-search predicates.
+func CalibGoals() []CalibGoal { return calib.Goals() }
+
+// RunCalibGoal runs one scenario search by goal id and returns its
+// report.
+func RunCalibGoal(id string, o CalibOptions) (*ExperimentReport, error) {
+	return calib.RunGoal(id, o)
+}

@@ -107,6 +107,27 @@ echo "== capacity invisibility: capacities off are byte-identical at any -j/-pde
 cmp "$TRACETMP/cap_j1.txt" "$TRACETMP/cap_j8.txt"
 cmp "$TRACETMP/cap_j1.txt" "$TRACETMP/cap_pdes8.txt"
 
+echo "== head-start invisibility: default vs explicit -headstart 0 =="
+# With the consumer head start off (the default), the knob must be
+# invisible: a run with no -headstart flag and one with an explicit
+# -headstart 0 produce identical bytes. (The PR that introduced the knob
+# additionally checked these bytes against the preserved pre-PR binary at
+# -j1, -j8, and -pdes-j 8; that binary is not archived in-repo, so the
+# ongoing gate is default-vs-explicit plus the golden fixtures.)
+"$TRACETMP/experiments" -quick -q fig5 ablation > "$TRACETMP/hs_default.txt"
+"$TRACETMP/experiments" -quick -q -headstart 0 fig5 ablation > "$TRACETMP/hs_zero.txt"
+cmp "$TRACETMP/hs_default.txt" "$TRACETMP/hs_zero.txt"
+
+echo "== calibration determinism: calibrate -j1 vs -j8 vs -pdes-j 8 (race) =="
+# The fit report must be byte-identical for any run-worker and PDES-shard
+# fan-out: same evaluations, same optimizer path, same fitted parameters
+# (DESIGN.md §3j).
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -budget 6 -j 1 calibrate > "$TRACETMP/cal_j1.txt"
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -budget 6 -j 8 calibrate > "$TRACETMP/cal_j8.txt"
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -budget 6 -j 8 -pdes-j 8 calibrate > "$TRACETMP/cal_pdes8.txt"
+cmp "$TRACETMP/cal_j1.txt" "$TRACETMP/cal_j8.txt"
+cmp "$TRACETMP/cal_j1.txt" "$TRACETMP/cal_pdes8.txt"
+
 echo "== zero-alloc gate: tracing/metrics/capacity-off allocation budget =="
 # The span-tracer, metrics hooks, and capacity layer must be free when
 # disabled: the delta tests scale event/op counts ~100x and require zero
