@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro"
@@ -59,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		promOut    = fs.String("metrics-prom", "", "with metrics sampling, also write an end-of-run Prometheus text-format snapshot here")
 		metricsStm = fs.String("metrics-stream", "", "like -metrics but bounded-memory: stream samples into the CSV file as they are taken (same bytes; no dashboards or -metrics-prom)")
 		metricsInt = fs.Duration("metrics-interval", 0, "virtual-time sampling period for -metrics/-metrics-prom/-metrics-stream (0 = 250ms)")
+		critOut    = fs.String("critpath", "", "record causal dependency graphs: write a frame-provenance waterfall CSV file here and emit per-experiment critical-path blame reports")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -113,9 +115,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// calibrate/search are subcommands, not experiments: they never join
-	// the append-only experiment list, so `all` output stays a stable
+	// calibrate/search/explain are subcommands, not experiments: they never
+	// join the append-only experiment list, so `all` output stays a stable
 	// prefix across builds.
+	if ids[0] == "explain" {
+		if *asJSON || *asCSV {
+			return usage("explain emits a text report only; -json/-csv are not supported")
+		}
+		if len(ids) < 2 {
+			return usage("explain needs a target (have %s)", explainTargetIDs())
+		}
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		opts := repro.ExperimentOptions{
+			Reps: *reps, Frames: *frames, Seed: *seed, Quick: *quick,
+			Workers: *workers, ShardWorkers: *pdesJ, ConsumerHeadStart: *headstart,
+		}
+		for _, target := range ids[1:] {
+			rep, err := repro.ExplainBackends(target, opts)
+			if err != nil {
+				return fatal(err)
+			}
+			repro.RenderReport(out, rep)
+			fmt.Fprintln(out)
+		}
+		return 0
+	}
 	if ids[0] == "calibrate" || ids[0] == "search" {
 		if *asJSON || *asCSV {
 			return usage("%s emits a text report only; -json/-csv are not supported", ids[0])
@@ -163,6 +195,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metricsStm != "" && (*metricsOut != "" || *promOut != "") {
 		return fatal(errors.New("-metrics-stream cannot be combined with -metrics or -metrics-prom (streamed samples are not retained for dashboards or snapshots)"))
 	}
+	if *critOut != "" && *traceStrm != "" {
+		return fatal(errors.New("-critpath and -trace-stream are mutually exclusive (flow-event merging needs buffered spans)"))
+	}
 	var collector *repro.TraceCollector
 	if *traceOut != "" {
 		collector = repro.NewTraceCollector()
@@ -182,6 +217,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mcollector = repro.NewMetricsCollector()
 		mcollector.Interval = *metricsInt
 		opts.Metrics = mcollector
+	}
+	var ccollector *repro.CritPathCollector
+	if *critOut != "" {
+		ccollector = repro.NewCritPathCollector()
+		opts.CritPath = ccollector
 	}
 	var mstream *repro.MetricsStreamer
 	var metricsFile *os.File
@@ -235,6 +275,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if dash := mcollector.Drain(id); dash != nil {
 			emit = append(emit, dash)
+		}
+		if blame := ccollector.Drain(id); blame != nil {
+			emit = append(emit, blame)
 		}
 		for _, rep := range emit {
 			switch {
@@ -301,6 +344,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "streamed metrics to %s\n", *metricsStm)
 		}
 	}
+	if ccollector != nil {
+		if err := writeFile(*critOut, func(f io.Writer) error {
+			return ccollector.WriteWaterfall(f)
+		}); err != nil {
+			return fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "wrote %d frame lineage set(s) to %s\n", len(ccollector.Lineages), *critOut)
+		}
+	}
 	if mcollector != nil && *promOut != "" {
 		if err := writeFile(*promOut, func(f io.Writer) error {
 			return repro.WriteMetricsProm(f, mcollector.Runs)
@@ -315,6 +368,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%d experiment(s) in %.2fs\n", len(ids), time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// explainTargetIDs renders the explain subcommand's available target ids
+// for usage messages.
+func explainTargetIDs() string {
+	var ids []string
+	for _, t := range repro.ExplainWorkloads() {
+		ids = append(ids, t.ID)
+	}
+	return strings.Join(ids, ", ")
 }
 
 // writeFile creates path, streams write into it, and surfaces the first

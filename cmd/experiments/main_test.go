@@ -205,6 +205,83 @@ func TestSearchSmoke(t *testing.T) {
 	}
 }
 
+func TestExplainSmoke(t *testing.T) {
+	code, out, errOut := capture(t, "-q", "-quick", "-reps", "1", "-frames", "8", "explain", "fig5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if errOut != "" {
+		t.Fatalf("-q left stderr output: %q", errOut)
+	}
+	for _, want := range []string{"== explain:fig5", "makespan:", "attribution:", "top edge:", "gap_share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain report missing %q:\n%s", want, out)
+		}
+	}
+	// Subcommand misuse is a usage error: exit 2, one line, stdout clean.
+	for _, args := range [][]string{
+		{"explain"},
+		{"-json", "explain", "fig5"},
+		{"-csv", "explain", "fig5"},
+	} {
+		code, out, errOut := capture(t, args...)
+		if code != 2 || out != "" {
+			t.Errorf("%v: exit %d stdout %q, want usage error", args, code, out)
+		}
+		if !strings.HasPrefix(errOut, "experiments: ") || strings.Count(errOut, "\n") != 1 {
+			t.Errorf("%v: want one 'experiments: ...' line on stderr, got %q", args, errOut)
+		}
+	}
+	// The bare-explain usage line lists the available targets.
+	_, _, errOut = capture(t, "explain")
+	for _, want := range []string{"fig5", "fig6"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("target listing missing %q: %s", want, errOut)
+		}
+	}
+	// Unknown target: runtime error, exit 1, stderr only.
+	code, out, errOut = capture(t, "explain", "no-such-target")
+	if code != 1 || out != "" || !strings.Contains(errOut, "unknown explain target") {
+		t.Fatalf("unknown target: exit %d stdout %q stderr %q", code, out, errOut)
+	}
+}
+
+// TestCritpathStreamsAndArtifacts runs a real experiment with -critpath:
+// the blame report joins the other reports on stdout (or -o), the
+// waterfall CSV lands in the named file, and the artifact note goes to
+// stderr only.
+func TestCritpathStreamsAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	wPath := filepath.Join(dir, "waterfall.csv")
+	code, out, errOut := capture(t, "-quick", "-reps", "1", "-frames", "4",
+		"-critpath", wPath, "fig5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "== fig5-critpath ") {
+		t.Fatalf("stdout missing blame report:\n%s", out)
+	}
+	if strings.Contains(out, "frame lineage set(s)") {
+		t.Fatal("artifact note leaked onto stdout")
+	}
+	if !strings.Contains(errOut, "frame lineage set(s)") {
+		t.Fatalf("stderr missing waterfall note:\n%s", errOut)
+	}
+	wf, err := os.ReadFile(wPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(wf), "run,frame,hop,proc,start_us,dur_us,bytes\n") {
+		t.Fatalf("waterfall header wrong: %q", string(wf[:min(len(wf), 60)]))
+	}
+	// Mutually exclusive with -trace-stream: flow-event merging needs
+	// buffered spans.
+	code, out, errOut = capture(t, "-critpath", wPath, "-trace-stream", filepath.Join(dir, "t.json"), "fig5")
+	if code != 1 || out != "" || !strings.Contains(errOut, "mutually exclusive") {
+		t.Fatalf("-critpath -trace-stream: exit %d stdout %q stderr %q", code, out, errOut)
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -485,6 +485,11 @@ func (s *Store) evictOne(p *sim.Proc, forced bool) bool {
 	if p != nil {
 		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "capacity", Name: "evict",
 			Class: trace.ClassDetail, Start: p.Now(), Bytes: v.Size, Attr: v.Path})
+		hop := "evict"
+		if spilled {
+			hop = "spill"
+		}
+		p.CritHop(v.Path, hop, p.Now(), v.Size)
 	}
 	return true
 }
@@ -494,7 +499,9 @@ func (s *Store) evictOne(p *sim.Proc, forced bool) bool {
 func (s *Store) stall(p *sim.Proc) {
 	start := p.Now()
 	s.met.Stalls++
+	p.CritBegin("capacity", "backpressure_wait", trace.ClassBackpressure)
 	s.waiters.Wait(p)
+	p.CritEnd()
 	d := p.Now() - start
 	s.met.StallNanos += int64(d)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "capacity", Name: "backpressure_wait",

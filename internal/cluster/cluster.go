@@ -385,6 +385,10 @@ func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, n int64) time.Duration {
 	}
 	start := p.Now()
 	c.Transfers++
+	// Detail class: the critical-path blame inherits whatever workflow
+	// region the transfer runs inside (movement for data, idle for sync).
+	p.CritBegin("net", "transfer", trace.ClassDetail)
+	defer p.CritEnd()
 	if src == dst {
 		// Loopback: no wire, just a cheap copy at memory speed.
 		p.Sleep(bwTime(n, 8*c.Spec.NIC.Bandwidth))
@@ -438,6 +442,8 @@ const wireSegment = 256 << 10
 // the given service resource (if non-nil).
 func (c *Cluster) RPC(p *sim.Proc, src, dst *Node, reqBytes, respBytes int64, server *sim.Resource, service time.Duration) time.Duration {
 	start := p.Now()
+	p.CritBegin("net", "rpc", trace.ClassDetail)
+	defer p.CritEnd()
 	c.Transfer(p, src, dst, reqBytes)
 	svcStart := p.Now()
 	if server != nil {

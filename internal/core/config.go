@@ -178,6 +178,16 @@ type Config struct {
 	// byte-identical to the same run untraced. Off (the default) costs one
 	// nil check per operation and zero allocations.
 	RecordSpans bool
+	// CritPath enables the causal dependency-graph recorder: the sim kernel
+	// records proc spawn/wake/block edges, the backends record write→read
+	// tokens and per-frame provenance hops, and collect extracts the run's
+	// critical path and frame lineages onto Result.Crit (DESIGN.md §3k).
+	// Recording is observation-only — it never touches the virtual timeline
+	// or any RNG stream, so a recorded run's measurements are byte-identical
+	// to the same run unrecorded. Off (the default) costs one nil check per
+	// hook site and zero allocations. Mutually exclusive with TraceStream
+	// (flow-event merging needs buffered spans).
+	CritPath bool
 	// ShardWorkers selects the intra-run engine mode: values > 1 shard the
 	// event queue across that many concurrently-maintained partitions
 	// (processes grouped by compute node, lookahead bounded by the cluster's
@@ -309,6 +319,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceStream != nil && c.RecordSpans {
 		return fmt.Errorf("core: TraceStream and RecordSpans are mutually exclusive (streamed spans are not retained)")
+	}
+	if c.CritPath && c.TraceStream != nil {
+		return fmt.Errorf("core: CritPath and TraceStream are mutually exclusive (flow-event merging needs buffered spans)")
 	}
 	if c.MetricsSink != nil && c.MetricsInterval <= 0 {
 		return fmt.Errorf("core: MetricsSink requires MetricsInterval > 0")

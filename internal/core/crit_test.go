@@ -1,0 +1,162 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func critCfg(b Backend) Config {
+	return Config{Backend: b, Model: tinyModel(), Frames: 6, Pairs: 2,
+		SingleNode: b != Lustre, Seed: 7, CritPath: true}
+}
+
+// Recording is observation-only: every measured number of a recorded run
+// must be byte-identical to the same run unrecorded.
+func TestCritPathObservationOnly(t *testing.T) {
+	for _, b := range []Backend{DYAD, XFS, Lustre} {
+		cfg := critCfg(b)
+		rec, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		cfg.CritPath = false
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if rec.Makespan != plain.Makespan || rec.Producer != plain.Producer || rec.Consumer != plain.Consumer {
+			t.Errorf("%s: recording changed measurements: %+v vs %+v", b, rec.Makespan, plain.Makespan)
+		}
+		if rec.Crit == nil || plain.Crit != nil {
+			t.Errorf("%s: Crit presence wrong (rec=%v plain=%v)", b, rec.Crit != nil, plain.Crit != nil)
+		}
+	}
+}
+
+// The graph — and everything derived from it — is byte-identical at any
+// intra-run shard count and across pooled engine reuse.
+func TestCritPathDeterministicAcrossShardWorkers(t *testing.T) {
+	for _, b := range []Backend{DYAD, XFS, Lustre} {
+		cfg := critCfg(b)
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		cfg.ShardWorkers = 4
+		sharded, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if !reflect.DeepEqual(serial.Crit.Path, sharded.Crit.Path) {
+			t.Errorf("%s: critical path differs across shard workers", b)
+		}
+		if !reflect.DeepEqual(serial.Crit.Frames, sharded.Crit.Frames) {
+			t.Errorf("%s: frame lineages differ across shard workers", b)
+		}
+	}
+}
+
+// Pooled engine reuse (RunMany recycling) must not leak one run's recorder
+// into the next: only the recording repetition carries a summary, and its
+// measurements match the rest of the batch.
+func TestCritPathPooledReuseInvisible(t *testing.T) {
+	cfgs := RepeatConfigs(critCfg(DYAD), 3)
+	cfgs[1].CritPath = false
+	cfgs[2].CritPath = false
+	results, err := RunMany(cfgs, 1) // one worker: reps 2,3 reuse rep 1's engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Crit == nil || results[1].Crit != nil || results[2].Crit != nil {
+		t.Fatalf("Crit placement wrong: %v %v %v",
+			results[0].Crit != nil, results[1].Crit != nil, results[2].Crit != nil)
+	}
+	if results[0].Makespan != results[1].Makespan {
+		// Reps share a seed schedule shifted per rep; compare rep 1's
+		// recorded measurements against an unpooled unrecorded run instead.
+		cfg := cfgs[0]
+		cfg.CritPath = false
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Makespan != plain.Makespan {
+			t.Errorf("recorded pooled rep diverges from plain run: %v vs %v", results[0].Makespan, plain.Makespan)
+		}
+	}
+}
+
+func TestValidateRejectsCritPathWithTraceStream(t *testing.T) {
+	cfg := critCfg(DYAD)
+	cfg.TraceStream = trace.NewChromeStream(discard{})
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("CritPath+TraceStream validated, want rejection")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Size-only sweeps (RealFrames=false, the default) must record full
+// provenance without touching payload bytes; RealFrames runs agree on the
+// lineage shape.
+func TestCritPathSizeOnlyAndRealFramesLineages(t *testing.T) {
+	cfg := critCfg(DYAD)
+	sizeOnly, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RealFrames = true
+	real, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Pairs * cfg.Frames
+	if len(sizeOnly.Crit.Frames) != want || len(real.Crit.Frames) != want {
+		t.Fatalf("lineages: size-only %d, real %d, want %d",
+			len(sizeOnly.Crit.Frames), len(real.Crit.Frames), want)
+	}
+	for i, fl := range sizeOnly.Crit.Frames {
+		if len(fl.Hops) == 0 {
+			t.Fatalf("frame %s has no hops", fl.Key)
+		}
+		if got, want := len(fl.Hops), len(real.Crit.Frames[i].Hops); got != want {
+			t.Errorf("frame %s: %d hops size-only vs %d real", fl.Key, got, want)
+		}
+	}
+	// Every frame's critical invariant: the consume hop is last and every
+	// hop's interval is well-formed.
+	for _, fl := range sizeOnly.Crit.Frames {
+		last := fl.Hops[len(fl.Hops)-1]
+		if last.Name != "consume" {
+			t.Errorf("frame %s: last hop %q, want consume", fl.Key, last.Name)
+		}
+		for _, h := range fl.Hops {
+			if h.End < h.Start {
+				t.Errorf("frame %s hop %s: End %v < Start %v", fl.Key, h.Name, h.End, h.Start)
+			}
+		}
+	}
+}
+
+// The extracted path must tile the makespan on every backend, healthy or
+// degraded: Attributed + Untracked == Makespan is the invariant the diff
+// report's attribution guarantee rests on.
+func TestCritPathTilesMakespan(t *testing.T) {
+	for _, b := range []Backend{DYAD, XFS, Lustre} {
+		res, err := Run(critCfg(b))
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		p := res.Crit.Path
+		if p.Attributed+p.Untracked != p.Makespan {
+			t.Errorf("%s: tiling broken: %v + %v != %v", b, p.Attributed, p.Untracked, p.Makespan)
+		}
+		if p.Makespan != res.Makespan {
+			t.Errorf("%s: path makespan %v != run makespan %v", b, p.Makespan, res.Makespan)
+		}
+	}
+}

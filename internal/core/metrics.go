@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
 // registerMetrics wires the run's metrics registry: workflow-level series
 // first (frame rates, per-role idle fraction — the paper's pathology
 // signal), then the cluster hardware, then the active backend. Registration
@@ -81,4 +87,25 @@ func (r *rig) registerMetrics() {
 			}
 		}
 	}
+
+	// Provenance series, registered last so every critpath-off CSV keeps its
+	// exact pre-PR column set. Histograms observe through the recorder's
+	// callbacks; the hop list is fixed so the column order never depends on
+	// which hops a particular run happens to record.
+	if cp := r.cp; cp != nil {
+		age := reg.Histogram("critpath/frame_age")
+		hopLat := make(map[string]*metrics.Histogram, len(critHopNames))
+		for _, name := range critHopNames {
+			hopLat[name] = reg.Histogram("critpath/hop_" + name + "_lat")
+		}
+		cp.OnDep = func(kind string, slack time.Duration) { age.Observe(slack) }
+		cp.OnHop = func(hop string, d time.Duration) { hopLat[hop].Observe(d) }
+	}
+}
+
+// critHopNames is the closed set of provenance hop names the backends
+// record, in registration order for the metrics CSV header.
+var critHopNames = []string{
+	"write", "kvs_commit", "sync_wait", "transfer",
+	"cache_store", "read", "evict", "spill", "consume",
 }

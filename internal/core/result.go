@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/caliper"
 	"repro/internal/capacity"
+	"repro/internal/critpath"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -75,6 +76,10 @@ type Result struct {
 	// Metrics holds the run's sampled resource registry when
 	// Config.MetricsInterval is set (nil otherwise).
 	Metrics *metrics.Registry
+
+	// Crit holds the run's extracted critical path and per-frame provenance
+	// lineages when Config.CritPath is set (nil otherwise).
+	Crit *critpath.Summary
 }
 
 // collect derives the Result from the rig's profiles and counters.
@@ -138,6 +143,10 @@ func (r *rig) collect() (*Result, error) {
 			res.Spans = r.rec.Spans()
 			res.SpanStats = trace.Aggregate(res.Spans)
 		}
+	}
+	if r.cp != nil {
+		g := r.cp.Finish(r.eng.Now())
+		res.Crit = &critpath.Summary{Path: critpath.Extract(g), Frames: g.Lineages}
 	}
 	if r.reg != nil && r.cfg.MetricsSink == nil {
 		// A streamed registry's samples are already on disk and its series

@@ -7,6 +7,7 @@ import (
 	"repro/internal/caliper"
 	"repro/internal/capacity"
 	"repro/internal/cluster"
+	"repro/internal/critpath"
 	"repro/internal/dyad"
 	"repro/internal/faults"
 	"repro/internal/frame"
@@ -52,6 +53,10 @@ type rig struct {
 	// rec records virtual-time spans when Config.RecordSpans is set; nil
 	// otherwise (tracing disabled at zero cost).
 	rec *trace.Recorder
+
+	// cp records the causal dependency graph when Config.CritPath is set;
+	// nil otherwise (every hook is one nil check, zero allocations).
+	cp *critpath.Recorder
 
 	// reg samples resource metrics when Config.MetricsInterval is set; nil
 	// otherwise (sampling disabled at zero cost). framesProduced and the
@@ -163,6 +168,12 @@ func newRig(cfg Config, pool *runPool) *rig {
 		// per-operation statistics.
 		r.rec = cfg.TraceStream.StartRun(rc.Label())
 		eng.SetRecorder(r.rec)
+	}
+	if cfg.CritPath {
+		// Install before any backend construction so every spawn (including
+		// Lustre noise processes) lands in the graph.
+		r.cp = critpath.NewRecorder()
+		eng.SetCritRecorder(r.cp)
 	}
 
 	buildLustre := func() {
@@ -362,25 +373,31 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			// in a real coarse-grained workflow this producer task has not
 			// been scheduled yet (hence a detail span, not idle).
 			ann.Begin("task_launch_wait")
+			p.CritBegin("workflow", "task_launch_wait", trace.ClassDetail)
 			start := p.Now()
 			gate.request.WaitSeq(p, f+1)
 			emitSpan(p, "task_launch_wait", trace.ClassDetail, start)
+			p.CritEnd()
 			ann.End("task_launch_wait")
 		}
 
 		// MD compute: one stride of steps (jittered as a block).
 		ann.Begin("md_compute")
+		p.CritBegin("workflow", "md_compute", trace.ClassCompute)
 		start := p.Now()
 		p.Sleep(p.Rand().Jitter(r.cfg.frequency, r.cfg.ComputeJitter))
 		emitSpan(p, "md_compute", trace.ClassCompute, start)
+		p.CritEnd()
 		ann.End("md_compute")
 
 		// Serialize the frame (CPU cost proportional to size).
 		ann.Begin("serialize")
+		p.CritBegin("workflow", "serialize", trace.ClassCompute)
 		start = p.Now()
 		data := r.framePayload(pair, f)
 		p.Sleep(cpuTime(data.Size(), 2.5e9))
 		emitSpan(p, "serialize", trace.ClassCompute, start)
+		p.CritEnd()
 		ann.End("serialize")
 
 		path := pairPath(pair, f)
@@ -394,18 +411,22 @@ func (r *rig) runProducer(p *sim.Proc, pair int, gate *pairGate) {
 			}
 		default:
 			ann.Begin("write_single_buf")
+			p.CritBegin("workflow", "write_single_buf", trace.ClassMovement)
 			start = p.Now()
 			if err := fs.WriteFile(p, path, data); err != nil {
 				panic(fmt.Errorf("core: producer write %s: %w", path, err))
 			}
 			emitSpan(p, "write_single_buf", trace.ClassMovement, start)
+			p.CritEnd()
 			ann.End("write_single_buf")
 		}
 		if gate != nil {
 			ann.Begin("explicit_sync")
+			p.CritBegin("workflow", "explicit_sync", trace.ClassIdle)
 			start = p.Now()
 			gate.post.Post(p)
 			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
+			p.CritEnd()
 			ann.End("explicit_sync")
 			r.prodIdleNanos += int64(p.Now() - start)
 		}
@@ -436,9 +457,11 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		// consumer job ConsumerHeadStart after the producers. Job-launch
 		// scheduling, not consumption — no caliper region, so it lands in
 		// neither the movement nor the idle column of the §IV-C split.
+		p.CritBegin("workflow", "job_start_delay", trace.ClassDetail)
 		start := p.Now()
 		p.Sleep(r.cfg.ConsumerHeadStart)
 		emitSpan(p, "job_start_delay", trace.ClassDetail, start)
+		p.CritEnd()
 	}
 
 	for f := 0; f < r.cfg.Frames; f++ {
@@ -448,12 +471,15 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			// cost the paper reports as consumer idle time.
 			gate.request.Post(p)
 			ann.Begin("explicit_sync")
+			p.CritBegin("workflow", "explicit_sync", trace.ClassIdle)
 			start := p.Now()
 			gate.post.WaitSeq(p, f+1)
 			emitSpan(p, "explicit_sync", trace.ClassIdle, start)
+			p.CritEnd()
 			ann.End("explicit_sync")
 			r.consIdleNanos += int64(p.Now() - start)
 		}
+		readStart := p.Now()
 		var data vfs.Payload
 		switch r.cfg.Backend {
 		case DYAD:
@@ -464,15 +490,19 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 			data = got
 		default:
 			ann.Begin("read_single_buf")
+			p.CritBegin("workflow", "read_single_buf", trace.ClassMovement)
 			start := p.Now()
 			got, err := fs.ReadFile(p, pairPath(pair, f))
 			if err != nil {
 				panic(fmt.Errorf("core: consumer read %s: %w", pairPath(pair, f), err))
 			}
 			emitSpan(p, "read_single_buf", trace.ClassMovement, start)
+			p.CritEnd()
 			ann.End("read_single_buf")
 			data = got
 		}
+		p.CritDepend(pairPath(pair, f), "consume")
+		p.CritHop(pairPath(pair, f), "consume", readStart, data.Size())
 		p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "workflow", Name: "frame_consumed",
 			Start: p.Now(), Bytes: data.Size()})
 		p.Tracef("consumed frame %d (%d bytes)", f, data.Size())
@@ -487,14 +517,18 @@ func (r *rig) runConsumer(p *sim.Proc, pair int, gate *pairGate) {
 		// Deserialize, then emulate the analytics computation for one
 		// frame period (paper §IV-C).
 		ann.Begin("deserialize")
+		p.CritBegin("workflow", "deserialize", trace.ClassCompute)
 		start := p.Now()
 		p.Sleep(cpuTime(data.Size(), 3.0e9))
 		emitSpan(p, "deserialize", trace.ClassCompute, start)
+		p.CritEnd()
 		ann.End("deserialize")
 		ann.Begin("analytics")
+		p.CritBegin("workflow", "analytics", trace.ClassCompute)
 		start = p.Now()
 		p.Sleep(r.cfg.frequency)
 		emitSpan(p, "analytics", trace.ClassCompute, start)
+		p.CritEnd()
 		ann.End("analytics")
 	}
 	r.consProfiles[pair] = ann.Profile()

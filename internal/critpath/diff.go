@@ -1,0 +1,102 @@
+package critpath
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// DiffRow is one blame bucket compared across two runs. Delta = B - A; a
+// positive delta is time run B spent on this edge that run A did not.
+type DiffRow struct {
+	Class     trace.Class
+	Component string
+	Name      string
+	Kind      string
+	A         Time
+	B         Time
+	Delta     Time
+}
+
+// ExplainDiff is the differential critical-path report between two runs of
+// the same workload on different backends. Because each side's blame rows
+// tile its makespan exactly, the row deltas sum to the makespan gap minus
+// the (normally zero) untracked delta — so the table mechanically
+// attributes the gap to named graph edges.
+type ExplainDiff struct {
+	LabelA     string
+	LabelB     string
+	MakespanA  Time
+	MakespanB  Time
+	Gap        Time // MakespanB - MakespanA
+	Rows       []DiffRow
+	Named      Time // sum of row deltas
+	UntrackedA Time
+	UntrackedB Time
+}
+
+// AttributionPct is the share of the makespan gap the named rows explain,
+// in percent. 100 means every nanosecond of the gap lands on a named edge.
+func (d *ExplainDiff) AttributionPct() float64 {
+	if d.Gap == 0 {
+		return 100
+	}
+	return 100 * float64(d.Named) / float64(d.Gap)
+}
+
+type diffKey struct {
+	class     trace.Class
+	component string
+	name      string
+	kind      string
+}
+
+// Diff compares two extracted critical paths edge-by-edge. Rows are sorted
+// by descending delta (run B's excesses first), with a deterministic
+// component/name tie-break.
+func Diff(labelA string, a *CritPath, labelB string, b *CritPath) *ExplainDiff {
+	d := &ExplainDiff{
+		LabelA: labelA, LabelB: labelB,
+		MakespanA: a.Makespan, MakespanB: b.Makespan,
+		Gap:        b.Makespan - a.Makespan,
+		UntrackedA: a.Untracked, UntrackedB: b.Untracked,
+	}
+	rows := make(map[diffKey]*DiffRow)
+	at := func(r BlameRow) *DiffRow {
+		k := diffKey{r.Class, r.Component, r.Name, r.Kind}
+		row := rows[k]
+		if row == nil {
+			row = &DiffRow{Class: r.Class, Component: r.Component, Name: r.Name, Kind: r.Kind}
+			rows[k] = row
+		}
+		return row
+	}
+	for _, r := range a.Rows {
+		at(r).A += r.Total
+	}
+	for _, r := range b.Rows {
+		at(r).B += r.Total
+	}
+	for _, row := range rows {
+		row.Delta = row.B - row.A
+		d.Named += row.Delta
+		d.Rows = append(d.Rows, *row)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		x, y := d.Rows[i], d.Rows[j]
+		if x.Delta != y.Delta {
+			return x.Delta > y.Delta
+		}
+		if x.Component != y.Component {
+			return x.Component < y.Component
+		}
+		if x.Name != y.Name {
+			return x.Name < y.Name
+		}
+		if x.Class != y.Class {
+			return x.Class < y.Class
+		}
+		return x.Kind < y.Kind
+	})
+	return d
+}

@@ -1,0 +1,247 @@
+package critpath
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// BlameRow is one blame bucket on the critical path: total gating time
+// attributed to a labeled region, split by whether the path was executing
+// (run) or sitting in an externally-released wait under that label.
+type BlameRow struct {
+	Class     trace.Class
+	Component string
+	Name      string
+	Kind      string // "run" or "wait"
+	Total     Time
+	Steps     int
+}
+
+// WaitRow is the gated-time view: how long the critical path sat inside
+// waits of this label before a proc-sourced release redirected the walk to
+// the releaser. The releaser's work carries the blame (BlameRow); the wait
+// row names the synchronization point it flowed through.
+type WaitRow struct {
+	Class     trace.Class
+	Component string
+	Name      string
+	Gated     Time
+	Count     int
+}
+
+// CritPath is the extracted critical path of one run.
+type CritPath struct {
+	// Makespan is the completion time of the last non-background proc —
+	// the workflow makespan the path explains. Attributed + Untracked
+	// always equals Makespan: the walk tiles [0, Makespan] exactly.
+	Makespan   Time
+	Attributed Time
+	Untracked  Time
+	Rows       []BlameRow // sorted by Total descending
+	Waits      []WaitRow  // sorted by Gated descending
+	ByClass    map[trace.Class]Time
+	Edges      int // proc-sourced release edges traversed
+	Steps      int // total walk steps
+
+	// Near-critical slack over recorded data dependencies: how close each
+	// produced token came to gating its consumer (0 slack = the consumer
+	// was waiting when the token appeared).
+	SlackCount int64
+	SlackHist  [trace.HistBuckets]int64
+	SlackMin   Time
+	SlackMax   Time
+}
+
+type blameKey struct {
+	label int32
+	kind  Kind
+}
+
+// findSeg returns the index of the segment the proc occupied just before
+// time t: the last segment with Start < t. Strictly before — a proc that
+// woke another and then blocked at the same timestamp has a wait segment
+// starting exactly at t whose own release lies in the future; landing on
+// it would move the walk forward in time. Returns -1 when the timeline
+// starts at or after t (or is empty).
+func findSeg(segs []Segment, t Time) int {
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].Start < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Extract walks the graph backward from run completion and returns the
+// gating chain's blame totals. The walk starts at the last-ending segment
+// of any non-background proc and repeatedly asks "what was this proc doing
+// just before t, and if it was waiting, who released it?" — attributing
+// every instant of [0, makespan] to exactly one bucket.
+func Extract(g *Graph) *CritPath {
+	cp := &CritPath{ByClass: make(map[trace.Class]Time)}
+	for _, d := range g.Deps {
+		slack := d.ConsumedAt - d.ProducedAt
+		cp.SlackHist[trace.HistBucket(slack)]++
+		if cp.SlackCount == 0 || slack < cp.SlackMin {
+			cp.SlackMin = slack
+		}
+		if slack > cp.SlackMax {
+			cp.SlackMax = slack
+		}
+		cp.SlackCount++
+	}
+
+	// Root: the non-background proc whose timeline ends last (first proc
+	// index on ties, which the deterministic proc order fixes).
+	proc, si := -1, -1
+	var rootEnd Time
+	totalSegs := 0
+	for i := range g.Procs {
+		pt := &g.Procs[i]
+		totalSegs += len(pt.Segments)
+		if pt.Background || len(pt.Segments) == 0 {
+			continue
+		}
+		if end := pt.Segments[len(pt.Segments)-1].End; proc < 0 || end > rootEnd {
+			proc, si, rootEnd = i, len(pt.Segments)-1, end
+		}
+	}
+	if proc < 0 {
+		return cp
+	}
+	cp.Makespan = rootEnd
+
+	blame := make(map[blameKey]*BlameRow)
+	gated := make(map[int32]*WaitRow)
+	addBlame := func(label int32, kind Kind, d Time) {
+		if d <= 0 {
+			return
+		}
+		if label < 0 {
+			cp.Untracked += d
+			return
+		}
+		k := blameKey{label, kind}
+		row := blame[k]
+		if row == nil {
+			l := g.Labels[label]
+			row = &BlameRow{Class: l.Class, Component: l.Component, Name: l.Name, Kind: kind.String()}
+			blame[k] = row
+		}
+		row.Total += d
+		row.Steps++
+		cp.Attributed += d
+		cp.ByClass[row.Class] += d
+	}
+
+	t := rootEnd
+	guard := totalSegs + len(g.Edges) + 16
+	for steps := 0; steps < guard && t > 0; steps++ {
+		cp.Steps++
+		seg := g.Procs[proc].Segments[si]
+		if seg.End < t {
+			// Gap between consecutive timeline entries (never happens for
+			// tiled recordings; defensive for hand-built graphs).
+			cp.Untracked += t - seg.End
+			t = seg.End
+			if t <= 0 {
+				break
+			}
+		}
+		if seg.Kind == Wait && seg.Edge >= 0 && g.Edges[seg.Edge].From >= 0 && g.Edges[seg.Edge].At <= t {
+			// The monotonicity guard (At <= t) keeps the walk moving backward
+			// if it ever enters a wait's interior before its release fired;
+			// such a wait is blamed like a run segment below.
+			e := g.Edges[seg.Edge]
+			// Wake-to-resume latency stays on the wait's label; the time
+			// before the release is the releaser's to explain.
+			addBlame(seg.Label, Wait, t-e.At)
+			if seg.Label >= 0 {
+				w := gated[seg.Label]
+				if w == nil {
+					l := g.Labels[seg.Label]
+					w = &WaitRow{Class: l.Class, Component: l.Component, Name: l.Name}
+					gated[seg.Label] = w
+				}
+				w.Gated += t - seg.Start
+				w.Count++
+			}
+			cp.Edges++
+			t = e.At
+			proc = int(e.From)
+			si = findSeg(g.Procs[proc].Segments, t)
+			if si < 0 {
+				cp.Untracked += t
+				t = 0
+			}
+			continue
+		}
+		// Run segment, or a wait released by a timer: the proc's own
+		// interval [Start, t] is the gating activity.
+		addBlame(seg.Label, seg.Kind, t-seg.Start)
+		t = seg.Start
+		si--
+		if si >= 0 || t <= 0 {
+			continue
+		}
+		// Walked off the proc's first segment: follow the spawn edge.
+		parent := g.Procs[proc].Parent
+		if parent < 0 {
+			cp.Untracked += t
+			t = 0
+			continue
+		}
+		proc = int(parent)
+		si = findSeg(g.Procs[proc].Segments, t)
+		if si < 0 {
+			cp.Untracked += t
+			t = 0
+		}
+	}
+	cp.Untracked += t // guard-exhausted remainder, 0 on normal walks
+
+	for _, row := range blame {
+		cp.Rows = append(cp.Rows, *row)
+	}
+	// The tie-break covers the full unique key (class, component, name,
+	// kind): rows come out of a map, so a partial order would leak map
+	// iteration order into the report.
+	sort.Slice(cp.Rows, func(i, j int) bool {
+		a, b := cp.Rows[i], cp.Rows[j]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Kind < b.Kind
+	})
+	for _, w := range gated {
+		cp.Waits = append(cp.Waits, *w)
+	}
+	sort.Slice(cp.Waits, func(i, j int) bool {
+		a, b := cp.Waits[i], cp.Waits[j]
+		if a.Gated != b.Gated {
+			return a.Gated > b.Gated
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Class < b.Class
+	})
+	return cp
+}

@@ -1,0 +1,84 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// LineageSet is one run's frame lineages tagged with the run's label, the
+// unit the waterfall CSV is grouped by.
+type LineageSet struct {
+	Label  string
+	Frames []FrameLineage
+}
+
+// WriteWaterfall writes frame provenance as a long-format CSV: one row per
+// lineage hop, ordered by run, then frame first appearance, then hop
+// recording order — a plotting-ready waterfall.
+func WriteWaterfall(w io.Writer, runs []LineageSet) error {
+	if _, err := io.WriteString(w, "run,frame,hop,proc,start_us,dur_us,bytes\n"); err != nil {
+		return err
+	}
+	for _, set := range runs {
+		for _, fl := range set.Frames {
+			for _, h := range fl.Hops {
+				_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%d\n",
+					set.Label, fl.Key, h.Name, h.Proc, us(h.Start), us(h.End-h.Start), h.Bytes)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// us renders a duration in microseconds: integer when whole, three
+// fractional digits otherwise (the same fixed formatting trace uses, so
+// artifacts stay byte-stable across platforms).
+func us(d Time) string {
+	micros := d.Nanoseconds() / 1000
+	if rem := d.Nanoseconds() % 1000; rem != 0 {
+		return fmt.Sprintf("%d.%03d", micros, rem)
+	}
+	return fmt.Sprintf("%d", micros)
+}
+
+// FlowEvents converts frame lineages into Chrome flow events: one flow per
+// frame, starting (ph "s") at the frame's first proc-bound hop and
+// stepping (ph "f", binding point "e") through each subsequent hop — the
+// arrows that stitch a frame's journey across proc tracks in a trace
+// viewer. Frames whose lineage touches fewer than two procs' worth of
+// hops draw no arrow and are skipped.
+func FlowEvents(frames []FrameLineage) []trace.Flow {
+	var out []trace.Flow
+	id := int64(0)
+	for _, fl := range frames {
+		first := -1
+		n := 0
+		for i, h := range fl.Hops {
+			if h.Proc == "" {
+				continue
+			}
+			if first < 0 {
+				first = i
+			}
+			n++
+		}
+		if n < 2 {
+			continue
+		}
+		id++
+		start := fl.Hops[first]
+		out = append(out, trace.Flow{Name: fl.Key, ID: id, Proc: start.Proc, At: start.End, Start: true})
+		for _, h := range fl.Hops[first+1:] {
+			if h.Proc == "" {
+				continue
+			}
+			out = append(out, trace.Flow{Name: fl.Key, ID: id, Proc: h.Proc, At: h.Start})
+		}
+	}
+	return out
+}

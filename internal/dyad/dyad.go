@@ -443,6 +443,8 @@ func (c *Client) Produce(p *sim.Proc, ann *caliper.Annotator, path string, pl vf
 	path = vfs.Clean(path)
 	pStart := p.Now()
 	defer ann.Region("dyad_produce")()
+	p.CritBegin("dyad", "dyad_produce", trace.ClassMovement)
+	defer p.CritEnd()
 	// The whole produce call is data movement in the paper's decomposition
 	// (the producer never waits on consumers), so one Movement span covers
 	// it; component detail (ssd, kvs, net) nests inside.
@@ -510,6 +512,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 	// --- Synchronization (dyad_fetch) ---
 	fetchStart := p.Now()
 	ann.Begin("dyad_fetch")
+	p.CritBegin("dyad", "dyad_fetch", trace.ClassIdle)
 	var m meta
 	if c.sys.params.NoAdaptiveSync {
 		// Ablation: always use the loosely-coupled watch protocol.
@@ -536,6 +539,11 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		m = decodeMeta(raw)
 	}
 	ann.End("dyad_fetch")
+	p.CritEnd()
+	p.CritHop(path, "sync_wait", fetchStart, 0)
+	p.CritDepend(path, "fetch")
+	p.CritBegin("dyad", "dyad_xfer", trace.ClassMovement)
+	defer p.CritEnd()
 	c.sys.FetchIdleNanos += int64(p.Now() - fetchStart)
 	c.sys.fetchLat.Observe(p.Now() - fetchStart)
 	// Paper decomposition (SplitConsumer): the metadata fetch is idle time,
@@ -577,6 +585,8 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 
 		// --- Local cache store (dyad_cons_store) ---
 		ann.Begin("dyad_cons_store")
+		sStart := p.Now()
+		stored := false
 		var serr error
 		if c.broker.cacheCap.TryReserve(path, data.Size()) {
 			// Admission check first (true when capacity is off): a refused
@@ -596,8 +606,12 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 					c.broker.cacheCap.Remove(path) // roll back the admission
 				}
 			})
+			stored = serr == nil
 		}
 		ann.End("dyad_cons_store")
+		if stored {
+			p.CritHop(path, "cache_store", sStart, data.Size())
+		}
 		if serr != nil {
 			// Cache store failed (device gone under the burst-buffer
 			// ablation): keep going with the in-flight copy; the read
@@ -609,6 +623,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 	}
 
 	// --- POSIX read from the node-local copy (read_single_buf) ---
+	rStart := p.Now()
 	ann.Begin("read_single_buf")
 	var rerr error
 	c.broker.locks.WithShared(p, path, func() {
@@ -666,6 +681,7 @@ func (c *Client) Consume(p *sim.Proc, ann *caliper.Annotator, path string) (vfs.
 		}
 		return vfs.Payload{}, fmt.Errorf("dyad: consume %s: %w: %w", path, faults.ErrExhausted, rerr)
 	}
+	p.CritHop(path, "read", rStart, data.Size())
 	return data, nil
 }
 
@@ -731,6 +747,7 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 		}
 		return vfs.Payload{}, fmt.Errorf("dyad: fetch %s: %w", path, rerr)
 	}
+	tStart := p.Now()
 	if params.NoDirectTransfer {
 		// Ablation: store-and-forward through the management node
 		// instead of a direct producer->consumer pull.
@@ -740,6 +757,7 @@ func (c *Client) fetchRemote(p *sim.Proc, owner *Broker, path string) (vfs.Paylo
 	} else {
 		c.sys.cl.Transfer(p, owner.node, c.broker.node, data.Size())
 	}
+	p.CritHop(path, "transfer", tStart, data.Size())
 	return data, nil
 }
 

@@ -98,13 +98,16 @@ func CapSweep(o Options) (*Report, error) {
 			c := cfg
 			c.Seed = o.Seed + uint64(rep)*0x9e3779b9
 			lbl := ""
-			if rep == 0 && (o.Trace != nil || o.Metrics != nil) {
+			if rep == 0 && (o.Trace != nil || o.Metrics != nil || o.CritPath != nil) {
 				lbl = label
 				if o.Trace != nil {
 					c.RecordSpans = true
 				}
 				if o.Metrics != nil {
 					c.MetricsInterval = o.Metrics.SampleInterval()
+				}
+				if o.CritPath != nil {
+					c.CritPath = true
 				}
 			}
 			keys = append(keys, k)
@@ -163,6 +166,9 @@ func CapSweep(o Options) (*Report, error) {
 		}
 		if o.Metrics != nil {
 			o.Metrics.Add(label, results[i:i+1])
+		}
+		if o.CritPath != nil {
+			o.CritPath.Add(label, results[i:i+1])
 		}
 	}
 

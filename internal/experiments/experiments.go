@@ -69,6 +69,13 @@ type Options struct {
 	// Metrics (the dashboard and Prometheus exporters need retained
 	// samples and are unavailable when streaming).
 	MetricsStream *MetricsStream
+	// CritPath, when non-nil, records the causal dependency graph on one
+	// repetition of each configuration and collects the extracted critical
+	// paths for per-experiment blame reports plus frame-provenance waterfall
+	// export. Recording is observation-only, like tracing. A repetition that
+	// is both traced and recorded gets its frame lineages merged into the
+	// Chrome trace as flow events. Mutually exclusive with TraceStream.
+	CritPath *CritCollector
 }
 
 // Defaults fills unset options with paper-faithful values.
@@ -243,6 +250,13 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 		// matches buffered collection order.
 		cfgs[0].TraceStream = o.TraceStream
 	}
+	if o.CritPath != nil {
+		// Record the dependency graph on the first repetition only,
+		// mirroring the trace policy: one representative gating chain per
+		// configuration, with every rep's seed identical to the unrecorded
+		// run.
+		cfgs[0].CritPath = true
+	}
 	if o.Metrics != nil {
 		// Sample the first repetition only, mirroring the trace policy; a
 		// rep that is both traced and sampled gets its counter tracks merged
@@ -262,6 +276,9 @@ func runAgg(cfg core.Config, o Options) (core.Aggregate, error) {
 	}
 	if o.Metrics != nil {
 		o.Metrics.Add(cfg.Label(), results)
+	}
+	if o.CritPath != nil {
+		o.CritPath.Add(cfg.Label(), results)
 	}
 	return core.Aggregated(results), nil
 }

@@ -77,17 +77,20 @@ func FaultSweep(o Options) (*Report, error) {
 					cfg.LustreFallback = true
 				}
 				label := ""
-				if rep == 0 && (o.Trace != nil || o.Metrics != nil) {
-					// One traced/metered rep per (backend, rate) cell: the
-					// fault plan is seed-deterministic, so the traced rep's
-					// recovery spans line up with the cell's rep-0 metrics
-					// exactly.
+				if rep == 0 && (o.Trace != nil || o.Metrics != nil || o.CritPath != nil) {
+					// One traced/metered/recorded rep per (backend, rate)
+					// cell: the fault plan is seed-deterministic, so the
+					// traced rep's recovery spans line up with the cell's
+					// rep-0 metrics exactly.
 					label = fmt.Sprintf("faults %s %gx", s.backend, rate)
 					if o.Trace != nil {
 						cfg.RecordSpans = true
 					}
 					if o.Metrics != nil {
 						cfg.MetricsInterval = o.Metrics.SampleInterval()
+					}
+					if o.CritPath != nil {
+						cfg.CritPath = true
 					}
 				}
 				keys = append(keys, key{si, ri})
@@ -109,6 +112,9 @@ func FaultSweep(o Options) (*Report, error) {
 		}
 		if o.Metrics != nil {
 			o.Metrics.Add(label, results[i:i+1])
+		}
+		if o.CritPath != nil {
+			o.CritPath.Add(label, results[i:i+1])
 		}
 	}
 

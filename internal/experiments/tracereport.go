@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/caliper"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/thicket"
@@ -55,6 +56,12 @@ func (c *Collector) Add(label string, results []*core.Result) {
 		// its dashboard series become Perfetto counter tracks under the
 		// run's span rows.
 		run.Counters = metrics.CounterTracks(res.Metrics)
+		// A repetition that also recorded the dependency graph carries frame
+		// lineages; each becomes a Chrome flow chaining the frame's
+		// provenance hops across proc tracks.
+		if res.Crit != nil {
+			run.Flows = critpath.FlowEvents(res.Crit.Frames)
+		}
 		c.Runs = append(c.Runs, run)
 		profiles := trace.Profiles(res.Spans)
 		var prod, cons []*caliper.Profile

@@ -99,10 +99,13 @@ func (s *Store) Server() *sim.Resource { return s.server }
 func (s *Store) Commit(p *sim.Proc, from *cluster.Node, key string, value []byte) {
 	s.Commits++
 	start := p.Now()
+	p.CritBegin("kvs", "commit", trace.ClassDetail)
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes+int64(len(value)), 64, s.server, s.params.CommitService)
+	p.CritEnd()
 	s.commitLat.Observe(p.Now() - start)
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "commit",
 		Start: start, Dur: p.Now() - start, Bytes: int64(len(value)), Attr: key})
+	p.CritHop(key, "kvs_commit", start, int64(len(value)))
 	s.data[key] = value
 	if l, ok := s.watches[key]; ok {
 		l.Fire()
@@ -120,9 +123,14 @@ func (s *Store) Lookup(p *sim.Proc, from *cluster.Node, key string) ([]byte, err
 		resp += int64(len(v))
 	}
 	start := p.Now()
+	p.CritBegin("kvs", "lookup", trace.ClassDetail)
 	s.cl.RPC(p, from, s.node, s.params.MsgBytes, resp, s.server, s.params.LookupService)
+	p.CritEnd()
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "lookup",
 		Start: start, Dur: p.Now() - start, Attr: key})
+	if ok {
+		p.CritDepend(key, "kvs_lookup")
+	}
 	if !ok {
 		return nil, fmt.Errorf("kvs: lookup %q: %w", key, ErrNoSuchKey)
 	}
@@ -154,10 +162,13 @@ func (s *Store) WaitFor(p *sim.Proc, from *cluster.Node, key string) []byte {
 		s.watches[key] = l
 	}
 	blockStart := p.Now()
+	p.CritBegin("kvs", "watch_block", trace.ClassDetail)
 	l.Wait(p)
+	p.CritEnd()
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "watch_block",
 		Start: blockStart, Dur: p.Now() - blockStart, Attr: key})
 	v := s.data[key]
+	p.CritDepend(key, "kvs_watch")
 	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
 	return v
 }
@@ -178,10 +189,13 @@ func (s *Store) WatchWait(p *sim.Proc, from *cluster.Node, key string) []byte {
 		s.watches[key] = l
 	}
 	blockStart := p.Now()
+	p.CritBegin("kvs", "watch_block", trace.ClassDetail)
 	l.Wait(p)
+	p.CritEnd()
 	p.Rec().Emit(trace.Span{Proc: p.Name(), Component: "kvs", Name: "watch_block",
 		Start: blockStart, Dur: p.Now() - blockStart, Attr: key})
 	v := s.data[key]
+	p.CritDepend(key, "kvs_watch")
 	s.cl.Transfer(p, s.node, from, 64+int64(len(v)))
 	return v
 }

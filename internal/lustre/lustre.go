@@ -193,6 +193,10 @@ func (f *FS) StartNoise() {
 			// Busy bursts of mean 2 ms separated by idle gaps sized to hit
 			// the target utilization. Call StopNoise when the measured
 			// workload has drained so the engine can finish.
+			// Background for the critical-path extractor: the run is over
+			// when the workflow finishes, not when noise winds down.
+			p.CritBackground()
+			p.CritBegin("lustre", "background_noise", trace.ClassDetail)
 			burst := 2 * time.Millisecond
 			gap := time.Duration(float64(burst) * (1 - f.params.BackgroundLoad) / f.params.BackgroundLoad)
 			for n := 0; n < 1_000_000; n++ {
@@ -362,6 +366,9 @@ func (c *Client) Node() *cluster.Node { return c.node }
 func (c *Client) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	f := c.fs
 	path = vfs.Clean(path)
+	wStart := p.Now()
+	p.CritBegin("lustre", "write", trace.ClassDetail)
+	defer p.CritEnd()
 	f.mdsRPC(p, c.node) // open/create with layout allocation
 	first, ok := f.layout[path]
 	if !ok {
@@ -372,6 +379,8 @@ func (c *Client) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 	f.writeChunks(p, c.node, first, pl.Size())
 	f.mdsRPC(p, c.node) // close: size/attr update at the MDS
 	f.tree.Put(path, pl)
+	p.CritProduce(path, pl.Size())
+	p.CritHop(path, "write", wStart, pl.Size())
 	return nil
 }
 
@@ -379,12 +388,17 @@ func (c *Client) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 func (c *Client) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	f := c.fs
 	path = vfs.Clean(path)
+	rStart := p.Now()
+	p.CritBegin("lustre", "read", trace.ClassDetail)
+	defer p.CritEnd()
 	f.mdsRPC(p, c.node)
 	pl, ok := f.tree.Get(path)
 	if !ok {
 		return vfs.Payload{}, vfs.PathError("read", path, vfs.ErrNotExist)
 	}
 	f.readChunks(p, c.node, f.layout[path], pl.Size())
+	p.CritDepend(path, "read")
+	p.CritHop(path, "read", rStart, pl.Size())
 	return pl, nil
 }
 

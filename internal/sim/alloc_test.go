@@ -58,3 +58,46 @@ func TestShardedSteadyStateZeroAllocs(t *testing.T) {
 		t.Fatalf("sharded steady state allocates: %0.f allocs over 19800 extra events (base %.0f, long %.0f)", delta, base, long)
 	}
 }
+
+// pingPongAllocs measures the total heap allocations of one engine
+// lifetime driving a Block/Wake-heavy workload: a waiter parked in a
+// Signal and a peer that broadcasts every microsecond — one release edge
+// per round, exercising exactly the kernel paths the critical-path
+// recorder hooks (Block, Wake, Spawn, deliver).
+func pingPongAllocs(t *testing.T, rounds int) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		e := NewEngine(1)
+		var sig Signal
+		e.Spawn("waiter", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				sig.Wait(p)
+			}
+		})
+		e.Spawn("waker", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Sleep(time.Microsecond)
+				sig.Broadcast()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// The critical-path recorder hooks must be invisible when no recorder is
+// installed: 100x more Block/Wake edges, zero extra allocations. This is
+// the disabled-path half of the §3k zero-cost contract (the enabled path
+// is bounded by the graph size, not the event count; the off path costs
+// one nil check per hook site).
+func TestCritpathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation budget checked without -race")
+	}
+	base := pingPongAllocs(t, 200)
+	long := pingPongAllocs(t, 20_000)
+	if delta := long - base; delta > 0 {
+		t.Fatalf("recorder-off Block/Wake path allocates: %.0f allocs over 19800 extra rounds (base %.0f, long %.0f)", delta, base, long)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/critpath"
 	"repro/internal/trace"
 )
 
@@ -83,6 +84,8 @@ type Engine struct {
 	failure  error
 	tracer   func(t Time, procName, msg string)
 	rec      *trace.Recorder
+	cp       *critpath.Recorder
+	curProc  int32 // proc currently holding the baton, noProc in the kernel
 
 	// Watchdog limits (0 = unlimited); see SetWatchdog.
 	maxEvents int64
@@ -114,6 +117,7 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{
 		kernelCh: make(chan struct{}),
 		seed:     seed,
+		curProc:  noProc,
 	}
 }
 
@@ -159,6 +163,8 @@ func (e *Engine) Reset(seed uint64) {
 	e.failure = nil
 	e.tracer = nil
 	e.rec = nil
+	e.cp = nil
+	e.curProc = noProc
 	e.maxEvents, e.maxTime = 0, 0
 	e.sampleEvery, e.sampleNext, e.sampleFn = 0, 0, nil
 	e.pq.reset()

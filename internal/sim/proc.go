@@ -52,6 +52,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 					}
 				}
 			}
+			if cp := e.cp; cp != nil && !p.aborted {
+				cp.EndProc(p.idx, e.now)
+			}
 			p.done = true
 			e.live--
 			e.kernelCh <- struct{}{} // final baton back to the kernel
@@ -60,6 +63,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
+	if cp := e.cp; cp != nil {
+		cp.StartProc(p.idx, name, e.curProc, e.now)
+	}
 	e.scheduleDeliver(e.now, p.idx)
 	return p
 }
@@ -71,8 +77,13 @@ func (e *Engine) deliver(p *Proc) {
 		panic(fmt.Sprintf("sim: wake of finished process %q", p.name))
 	}
 	p.waiting = false
+	// curProc lets Wake and Spawn hooks attribute releases to the proc
+	// that caused them; the kernel goroutine is parked in kernelCh while
+	// p runs, so the field is stable for p's whole turn.
+	e.curProc = p.idx
 	p.resume <- struct{}{}
 	<-e.kernelCh
+	e.curProc = noProc
 }
 
 // yield hands the baton back to the kernel and blocks until re-delivered.
@@ -88,8 +99,10 @@ func (p *Proc) yield() {
 // Called by the kernel only, for procs with waiting==true.
 func (p *Proc) abort() {
 	p.aborted = true
+	p.e.curProc = p.idx
 	p.resume <- struct{}{}
 	<-p.e.kernelCh
+	p.e.curProc = noProc
 }
 
 // Name returns the process name given at Spawn.
@@ -124,14 +137,23 @@ func (p *Proc) Sleep(d time.Duration) {
 // (signals, resources, lock managers, key-value watches). A process that is
 // never woken is reported as stranded by Run.
 func (p *Proc) Block() {
+	if cp := p.e.cp; cp != nil {
+		cp.BeginWait(p.idx, p.e.now)
+	}
 	p.waiting = true
 	p.yield()
+	if cp := p.e.cp; cp != nil {
+		cp.EndWait(p.idx, p.e.now)
+	}
 }
 
 // Wake schedules delivery of a process parked in Block at the current
 // virtual time. Calling Wake on a process that is not blocked (or waking it
 // twice) is a programming error and will panic inside the kernel.
 func (p *Proc) Wake() {
+	if cp := p.e.cp; cp != nil {
+		cp.Release(p.e.curProc, p.idx, p.e.now)
+	}
 	p.e.scheduleDeliver(p.e.now, p.idx)
 }
 

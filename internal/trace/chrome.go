@@ -15,6 +15,21 @@ type Run struct {
 	Label    string
 	Spans    []Span
 	Counters []Counter
+	// Flows are per-frame provenance arrows (internal/critpath lineages)
+	// stitched across proc tracks; empty unless the run recorded a
+	// dependency graph.
+	Flows []Flow
+}
+
+// Flow is one Chrome flow event: the start (ph "s") or a step (ph "f",
+// binding point "e") of a named arrow with a shared ID, anchored to a proc
+// track at a virtual time.
+type Flow struct {
+	Name  string
+	ID    int64
+	Proc  string
+	At    time.Duration
+	Start bool
 }
 
 // Counter is one sampled counter track: a value per virtual sample time.
@@ -44,6 +59,9 @@ func WriteChrome(w io.Writer, runs []Run) error {
 		rec := cs.StartRun(run.Label)
 		for _, s := range run.Spans {
 			cs.span(rec, s)
+		}
+		for _, f := range run.Flows {
+			cs.flow(rec, f)
 		}
 		cs.EndRun(rec, run.Counters)
 	}

@@ -85,6 +85,26 @@ func (cs *ChromeStream) span(rec *Recorder, s Span) {
 		rec.pid, tid, us(s.Start), us(s.Dur), quote(s.Name), quote(s.Component+","+s.Class.String()), args))
 }
 
+// flow serializes one flow event of rec's run, reusing the run's thread
+// table (a flow anchored to a proc that never emitted a span still gets
+// its thread-name metadata first, exactly like span does).
+func (cs *ChromeStream) flow(rec *Recorder, f Flow) {
+	tid, ok := rec.tids[f.Proc]
+	if !ok {
+		tid = len(rec.tids) + 1
+		rec.tids[f.Proc] = tid
+		cs.emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			rec.pid, tid, quote(f.Proc)))
+	}
+	if f.Start {
+		cs.emit(fmt.Sprintf("{\"ph\":\"s\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"id\":%d,\"name\":%s,\"cat\":\"provenance\"}",
+			rec.pid, tid, us(f.At), f.ID, quote(f.Name)))
+		return
+	}
+	cs.emit(fmt.Sprintf("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"id\":%d,\"name\":%s,\"cat\":\"provenance\"}",
+		rec.pid, tid, us(f.At), f.ID, quote(f.Name)))
+}
+
 // EndRun closes rec's run, emitting its sampled counter tracks (nil for
 // none). Runs aborted before EndRun leave a valid document — their partial
 // span stream shows the timeline up to the failure.

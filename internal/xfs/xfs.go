@@ -98,6 +98,9 @@ func (f *FS) Tree() *vfs.Tree { return f.tree }
 // WriteFile implements vfs.FS: journal commit + data write on the local SSD.
 // The payload is stored by reference, never copied.
 func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
+	wStart := p.Now()
+	p.CritBegin("xfs", "write", trace.ClassDetail)
+	defer p.CritEnd()
 	p.Sleep(f.params.MetaLatency)
 	if f.cap != nil {
 		// Claim the bytes before paying any device cost: eviction or
@@ -128,11 +131,16 @@ func (f *FS) WriteFile(p *sim.Proc, path string, pl vfs.Payload) error {
 		return vfs.PathError("write", path, err)
 	}
 	f.tree.Put(path, pl)
+	p.CritProduce(vfs.Clean(path), pl.Size())
+	p.CritHop(vfs.Clean(path), "write", wStart, pl.Size())
 	return nil
 }
 
 // ReadFile implements vfs.FS: data read from the local SSD.
 func (f *FS) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
+	rStart := p.Now()
+	p.CritBegin("xfs", "read", trace.ClassDetail)
+	defer p.CritEnd()
 	p.Sleep(f.params.MetaLatency)
 	pl, ok := f.tree.Get(path)
 	if !ok {
@@ -160,6 +168,8 @@ func (f *FS) ReadFile(p *sim.Proc, path string) (vfs.Payload, error) {
 	if f.cap != nil {
 		f.cap.MarkConsumed(vfs.Clean(path))
 	}
+	p.CritDepend(vfs.Clean(path), "read")
+	p.CritHop(vfs.Clean(path), "read", rStart, pl.Size())
 	return pl, nil
 }
 

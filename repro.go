@@ -29,6 +29,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/capacity"
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -214,6 +215,55 @@ func NewMetricsCSVSink(w io.Writer) *MetricsCSVSink { return metrics.NewCSVSink(
 // MetricsStreamer streams each experiment's metered repetition into a
 // MetricsCSVSink; attach one via ExperimentOptions.MetricsStream.
 type MetricsStreamer = experiments.MetricsStream
+
+// CritPath is one run's extracted critical path: the gating chain's blame
+// totals per labeled region and class, the synchronization waits it flowed
+// through, and near-critical slack statistics (Result.Crit.Path when
+// Config.CritPath is set). See critpath.CritPath.
+type CritPath = critpath.CritPath
+
+// FrameLineage is one frame's provenance record: every hop the payload
+// took from production to consumption (Result.Crit.Frames).
+type FrameLineage = critpath.FrameLineage
+
+// CritSummary bundles a run's critical path and frame lineages
+// (Result.Crit when Config.CritPath is set).
+type CritSummary = critpath.Summary
+
+// ExplainDiff is an edge-by-edge differential of two runs' critical paths:
+// every makespan-gap contribution attributed to a named graph edge.
+type ExplainDiff = critpath.ExplainDiff
+
+// DiffCritPaths diffs two extracted critical paths edge-by-edge.
+func DiffCritPaths(labelA string, a *CritPath, labelB string, b *CritPath) *ExplainDiff {
+	return critpath.Diff(labelA, a, labelB, b)
+}
+
+// WriteWaterfallCSV writes frame lineages as a long-format waterfall CSV
+// (one row per provenance hop). Byte-deterministic.
+func WriteWaterfallCSV(w io.Writer, label string, frames []FrameLineage) error {
+	return critpath.WriteWaterfall(w, []critpath.LineageSet{{Label: label, Frames: frames}})
+}
+
+// CritPathCollector accumulates critical-path summaries and blame rows
+// across experiments; attach one via ExperimentOptions.CritPath.
+type CritPathCollector = experiments.CritCollector
+
+// NewCritPathCollector returns an empty critical-path collector.
+func NewCritPathCollector() *CritPathCollector { return experiments.NewCritCollector() }
+
+// ExplainBackends runs one explain workload ("fig5": DYAD vs XFS
+// single-node, "fig6": DYAD vs Lustre two-node) with critical-path
+// recording on both sides and returns the differential blame report.
+func ExplainBackends(target string, o ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Explain(target, o)
+}
+
+// ExplainWorkload is one workload ExplainBackends can diff.
+type ExplainWorkload = experiments.ExplainTarget
+
+// ExplainWorkloads lists the available explain workloads.
+func ExplainWorkloads() []ExplainWorkload { return experiments.ExplainTargets() }
 
 // ExperimentOptions tune paper-experiment execution.
 type ExperimentOptions = experiments.Options

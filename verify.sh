@@ -128,6 +128,38 @@ echo "== calibration determinism: calibrate -j1 vs -j8 vs -pdes-j 8 (race) =="
 cmp "$TRACETMP/cal_j1.txt" "$TRACETMP/cal_j8.txt"
 cmp "$TRACETMP/cal_j1.txt" "$TRACETMP/cal_pdes8.txt"
 
+echo "== critpath determinism: explain + -critpath artifacts at -j1/-j8/-pdes-j 8 (race) =="
+# The causal-graph recorder must be worker-count-independent end to end:
+# the differential critical-path report, the per-experiment blame reports,
+# the frame-provenance waterfall CSV, and the flow-merged Chrome trace are
+# byte-identical at any -j and -pdes-j, on clean (fig5) and faulted
+# (faultsweep) seeds alike (DESIGN.md §3k).
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -j 1 explain fig5 fig6 > "$TRACETMP/ex_j1.txt"
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -j 8 explain fig5 fig6 > "$TRACETMP/ex_j8.txt"
+"$TRACETMP/experiments" -q -quick -reps 1 -frames 16 -j 8 -pdes-j 8 explain fig5 fig6 > "$TRACETMP/ex_pdes8.txt"
+cmp "$TRACETMP/ex_j1.txt" "$TRACETMP/ex_j8.txt"
+cmp "$TRACETMP/ex_j1.txt" "$TRACETMP/ex_pdes8.txt"
+"$TRACETMP/experiments" -quick -q -j 1 -critpath "$TRACETMP/wf1.csv" -trace "$TRACETMP/ct1.json" fig5 faultsweep > "$TRACETMP/crep1.txt"
+"$TRACETMP/experiments" -quick -q -j 8 -critpath "$TRACETMP/wf8.csv" -trace "$TRACETMP/ct8.json" fig5 faultsweep > "$TRACETMP/crep8.txt"
+"$TRACETMP/experiments" -quick -q -j 8 -pdes-j 8 -critpath "$TRACETMP/wfp8.csv" -trace "$TRACETMP/ctp8.json" fig5 faultsweep > "$TRACETMP/crepp8.txt"
+cmp "$TRACETMP/crep1.txt" "$TRACETMP/crep8.txt"
+cmp "$TRACETMP/crep1.txt" "$TRACETMP/crepp8.txt"
+cmp "$TRACETMP/wf1.csv" "$TRACETMP/wf8.csv"
+cmp "$TRACETMP/wf1.csv" "$TRACETMP/wfp8.csv"
+cmp "$TRACETMP/ct1.json" "$TRACETMP/ct8.json"
+cmp "$TRACETMP/ct1.json" "$TRACETMP/ctp8.json"
+
+echo "== critpath invisibility: recording is observation-only =="
+# Recording must not perturb the simulation: dropping the -critpath blame
+# sections from a recorded run's report yields byte-for-byte the plain
+# run's report — every measured number is identical. (The PR that
+# introduced the recorder additionally checked the recorder-off sweep
+# against the preserved pre-PR binary via cmp; that binary is not archived
+# in-repo, so recorder-off bytes stay pinned by the capacity-invisibility
+# stage's cross-worker cmp over `all` plus the golden fixtures.)
+awk '/^== [a-z0-9]+-critpath /{skip=1; next} /^== /{skip=0} !skip' "$TRACETMP/crep1.txt" > "$TRACETMP/crep1_filtered.txt"
+cmp "$TRACETMP/out1.txt" "$TRACETMP/crep1_filtered.txt"
+
 echo "== zero-alloc gate: tracing/metrics/capacity-off allocation budget =="
 # The span-tracer, metrics hooks, and capacity layer must be free when
 # disabled: the delta tests scale event/op counts ~100x and require zero
